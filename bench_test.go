@@ -1,0 +1,218 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each bench runs the corresponding experiment once per iteration and
+// reports the paper's headline quantities as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the entire evaluation:
+//
+//	BenchmarkTable1/<benchmark>  — Table I columns (clock & det overhead %)
+//	BenchmarkTable2/<benchmark>  — Table II (DetLock vs tuned Kendo)
+//	BenchmarkFig14Average        — Figure 14 (average bars)
+//	BenchmarkFig15               — Figure 15 (ahead-of-time ablation)
+//	BenchmarkKendoChunk/<chunk>  — §V-C chunk tuning ablation
+//	BenchmarkDeterminism         — schedule stability across runs
+//	BenchmarkDetRuntime          — the goroutine runtime's lock throughput
+package detlock_test
+
+import (
+	"fmt"
+	"testing"
+
+	detlock "repro"
+	"repro/internal/harness"
+	"repro/internal/splash"
+	"repro/internal/trace"
+)
+
+// BenchmarkTable1 regenerates one Table I column per sub-benchmark:
+// baseline, clocks-only and deterministic overhead under no-opt and all-opt.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range splash.Names() {
+		b.Run(name, func(b *testing.B) {
+			r := harness.NewRunner()
+			var col *harness.BenchTableI
+			for i := 0; i < b.N; i++ {
+				var err error
+				col, err = r.TableIFor(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(col.ClocksPct["none"], "clkNone%")
+			b.ReportMetric(col.ClocksPct["all"], "clkAll%")
+			b.ReportMetric(col.DetPct["none"], "detNone%")
+			b.ReportMetric(col.DetPct["all"], "detAll%")
+			b.ReportMetric(float64(col.Clockable), "clockableFns")
+			b.ReportMetric(col.LocksPerSec, "locks/s")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates the DetLock-vs-Kendo comparison per benchmark.
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range splash.Names() {
+		b.Run(name, func(b *testing.B) {
+			r := harness.NewRunner()
+			var row *harness.BenchTableII
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = r.TableIIFor(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.DetLockPct, "detlock%")
+			b.ReportMetric(row.KendoPct, "kendo%")
+			b.ReportMetric(float64(row.KendoChunk), "kendoChunk")
+		})
+	}
+}
+
+// BenchmarkFig14Average regenerates Figure 14's headline averages (the
+// paper's 20%→8% clock and 28%→15% deterministic overhead).
+func BenchmarkFig14Average(b *testing.B) {
+	r := harness.NewRunner()
+	var rep *harness.TableIReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.AverageClocksPct("none"), "avgClkNone%")
+	b.ReportMetric(rep.AverageClocksPct("all"), "avgClkAll%")
+	b.ReportMetric(rep.AverageDetPct("none"), "avgDetNone%")
+	b.ReportMetric(rep.AverageDetPct("all"), "avgDetAll%")
+}
+
+// BenchmarkFig15 regenerates the ahead-of-time clocking ablation on
+// Radiosity (no-opt vs O1-at-end vs O1-at-start).
+func BenchmarkFig15(b *testing.B) {
+	r := harness.NewRunner()
+	var rep *harness.Fig15Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = r.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.DetPct[0], "noOpt%")
+	b.ReportMetric(rep.DetPct[1], "o1End%")
+	b.ReportMetric(rep.DetPct[2], "o1Start%")
+}
+
+// BenchmarkKendoChunk sweeps the Kendo chunk size on Radiosity — the manual
+// tuning the paper's authors describe in §V-C.
+func BenchmarkKendoChunk(b *testing.B) {
+	for _, chunk := range []int64{100, 1000, 16000} {
+		b.Run(fmt.Sprintf("chunk%d", chunk), func(b *testing.B) {
+			r := harness.NewRunner()
+			var pct float64
+			for i := 0; i < b.N; i++ {
+				bench, err := splash.New("radiosity", r.Threads)
+				if err != nil {
+					b.Fatal(err)
+				}
+				base, err := r.Run(bench, harness.PresetByKey("none"), harness.ModeBaseline, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kr, err := r.Run(bench, harness.PresetByKey("none"), harness.ModeKendo, chunk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pct = harness.OverheadPct(kr, base)
+			}
+			b.ReportMetric(pct, "kendo%")
+		})
+	}
+}
+
+// BenchmarkDeterminism measures the cost of a deterministic simulation and
+// verifies schedule stability on every iteration (the headline property).
+func BenchmarkDeterminism(b *testing.B) {
+	m, err := detlock.ParseProgram(benchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := detlock.AllOptimizations()
+	cfg := detlock.SimConfig{Threads: 4, Opt: &opt, Deterministic: true, RecordSchedule: true}
+	ref, err := detlock.Simulate(m, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := detlock.Simulate(m, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := trace.Compare(ref.Schedule, res.Schedule); d.Diverged {
+			b.Fatalf("schedule diverged: %s", d)
+		}
+	}
+	b.ReportMetric(float64(ref.Schedule.Len()), "acquisitions")
+}
+
+// BenchmarkDetRuntime measures deterministic lock throughput on real
+// goroutines (the runtime of package detlock).
+func BenchmarkDetRuntime(b *testing.B) {
+	for _, threads := range []int{2, 4} {
+		b.Run(fmt.Sprintf("threads%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := detlock.New(threads)
+				mu := rt.NewMutex()
+				rt.Run(func(t *detlock.Thread) {
+					for k := 0; k < 200; k++ {
+						t.Tick(int64(7 + t.ID()))
+						mu.Lock(t)
+						mu.Unlock(t)
+					}
+				})
+			}
+			b.ReportMetric(float64(threads*200)/float64(b.Elapsed().Seconds())/float64(b.N), "locks/s")
+		})
+	}
+}
+
+const benchProgram = `
+module bench
+locks 2
+global work 256
+
+func kernel(r0) regs 3 {
+entry:
+  r1 = and r0, 1
+  br r1, a, c
+a:
+  r2 = mul r0, 3
+  r2 = add r2, 1
+  ret r2
+c:
+  r2 = mul r0, 3
+  r2 = add r2, 2
+  ret r2
+}
+
+func main() regs 8 {
+entry:
+  r0 = const 0
+  jmp loop
+loop:
+  r1 = lt r0, 150
+  br r1, body, done
+body:
+  r2 = call kernel(r0)
+  r3 = and r2, 1
+  lock r3
+  r4 = and r2, 255
+  r5 = load work[r4]
+  r5 = add r5, r2
+  store work[r4], r5
+  unlock r3
+  r0 = add r0, 1
+  jmp loop
+done:
+  ret r0
+}
+`

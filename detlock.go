@@ -1,0 +1,224 @@
+// Package detlock is the public API of the DetLock reproduction: portable
+// deterministic execution for shared-memory multithreaded programs, after
+// "DetLock: Portable and Efficient Deterministic Execution for Shared Memory
+// Multicore Systems" (Mushtaq, Al-Ars, Bertels — SC 2012).
+//
+// Two ways to use it:
+//
+// # Deterministic runtime for Go code
+//
+// The runtime gives real goroutines Kendo-style weak determinism: for a
+// race-free program with a fixed input, every run acquires every lock in
+// the same global order, no matter how the Go scheduler interleaves the
+// goroutines. Logical clocks stand in for the paper's compiler-inserted
+// updates via explicit Tick calls:
+//
+//	rt := detlock.New(4)
+//	mu := rt.NewMutex()
+//	rt.Run(func(t *detlock.Thread) {
+//	    t.Tick(workUnits)  // account for compute between sync points
+//	    mu.Lock(t)
+//	    // ... deterministic critical section order ...
+//	    mu.Unlock(t)
+//	})
+//
+// # Compiler pipeline and simulator for IR programs
+//
+// Programs written in (or compiled to) the textual IR can be instrumented
+// with the paper's clock-insertion pass — including all four overhead
+// optimizations — and executed on a deterministic multicore simulator that
+// reports cycle-accurate overheads:
+//
+//	m, _ := detlock.ParseProgram(src)
+//	res, _ := detlock.Simulate(m, detlock.SimConfig{
+//	    Threads: 4,
+//	    Opt:     detlock.AllOptimizations(),
+//	})
+//
+// See cmd/detbench for the full reproduction of the paper's evaluation.
+package detlock
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/det"
+	"repro/internal/estimates"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Runtime coordinates deterministic threads over real goroutines.
+type Runtime = det.Runtime
+
+// Thread is a deterministic thread handle; all synchronization methods take
+// the owning thread.
+type Thread = det.Thread
+
+// Mutex is a deterministic mutual-exclusion lock.
+type Mutex = det.Mutex
+
+// Barrier is a deterministic cyclic barrier.
+type Barrier = det.Barrier
+
+// Cond is a deterministic condition variable (the paper's future work,
+// implemented here as an extension).
+type Cond = det.Cond
+
+// Allocator is the deterministic allocator shim (the paper's malloc
+// replacement, §III-B).
+type Allocator = det.Allocator
+
+// New creates a deterministic runtime with n threads.
+func New(n int) *Runtime { return det.New(n) }
+
+// Module is a program in the reproduction's compiler IR.
+type Module = ir.Module
+
+// Options selects the clock-insertion optimizations (paper §IV).
+type Options = core.Options
+
+// InstrumentResult reports what the pass did (clockable functions etc.).
+type InstrumentResult = core.Result
+
+// Schedule is a recorded synchronization order; identical schedules across
+// runs are the definition of weak determinism.
+type Schedule = trace.Schedule
+
+// AllOptimizations returns the paper's "With All Optimizations" setting.
+func AllOptimizations() Options { return core.OptAll }
+
+// NoOptimizations returns the bare clock-insertion setting.
+func NoOptimizations() Options { return core.OptNone }
+
+// ParseProgram parses the textual IR format (see internal/ir and the files
+// under examples/programs).
+func ParseProgram(src string) (*Module, error) { return ir.Parse(src) }
+
+// FormatProgram renders a module back to the textual format.
+func FormatProgram(m *Module) string { return m.String() }
+
+// Instrument runs the DetLock pass over m in place, inserting logical-clock
+// updates. roots names the thread entry functions (never made clockable).
+func Instrument(m *Module, opt Options, roots ...string) (*InstrumentResult, error) {
+	if len(roots) == 0 {
+		roots = []string{"main"}
+	}
+	opt.Roots = roots
+	return core.Instrument(m, nil, nil, opt)
+}
+
+// SimConfig configures a deterministic simulation of an IR program.
+type SimConfig struct {
+	// Threads is the simulated core count (default 4).
+	Threads int
+	// Entry is the SPMD entry function (default "main").
+	Entry string
+	// Opt selects the instrumentation; nil Opt with Deterministic=false
+	// simulates the uninstrumented baseline.
+	Opt *Options
+	// Deterministic enables the deterministic lock policy (otherwise plain
+	// FCFS locks, the baseline).
+	Deterministic bool
+	// RecordSchedule captures the lock-acquisition schedule.
+	RecordSchedule bool
+}
+
+// SimResult reports a simulation outcome.
+type SimResult struct {
+	// Cycles is the simulated makespan.
+	Cycles int64
+	// WaitCycles is the total time threads spent blocked on synchronization.
+	WaitCycles int64
+	// Acquisitions counts lock acquisitions.
+	Acquisitions int64
+	// ClockUpdates counts executed logical-clock updates.
+	ClockUpdates int64
+	// Clockable lists the functions Optimization 1 clocked.
+	Clockable []string
+	// Schedule is the synchronization order (when recorded).
+	Schedule *Schedule
+	// Output is each thread's deterministic print log.
+	Output [][]int64
+}
+
+// Simulate instruments (optionally) and runs m on the deterministic
+// multicore simulator. The input module is not modified.
+func Simulate(m *Module, cfg SimConfig) (*SimResult, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Entry == "" {
+		cfg.Entry = "main"
+	}
+	clone := m.Clone()
+	out := &SimResult{}
+	if cfg.Opt != nil {
+		opt := *cfg.Opt
+		opt.Roots = []string{cfg.Entry}
+		res, err := core.Instrument(clone, nil, nil, opt)
+		if err != nil {
+			return nil, fmt.Errorf("detlock: %w", err)
+		}
+		out.Clockable = res.ClockableNames()
+	}
+	mach, threads, err := interp.NewMachine(interp.Config{
+		Module:    clone,
+		Threads:   cfg.Threads,
+		Entry:     cfg.Entry,
+		Estimates: estimates.DefaultTable(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("detlock: %w", err)
+	}
+	policy := sim.PolicyFCFS
+	if cfg.Deterministic {
+		policy = sim.PolicyDet
+	}
+	eng := sim.New(sim.Config{
+		Policy:      policy,
+		NumLocks:    clone.NumLocks,
+		NumBarriers: clone.NumBars,
+		RecordTrace: cfg.RecordSchedule,
+	}, interp.Programs(threads))
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("detlock: %w", err)
+	}
+	out.Cycles = stats.Makespan
+	out.WaitCycles = stats.WaitCycles
+	out.Acquisitions = stats.Acquisitions
+	out.ClockUpdates = mach.ClockUpdates
+	if cfg.RecordSchedule {
+		out.Schedule = trace.FromSim(stats.Trace)
+	}
+	for _, th := range threads {
+		out.Output = append(out.Output, append([]int64(nil), th.Output...))
+	}
+	return out, nil
+}
+
+// CheckDeterminism runs the program n times under the deterministic policy
+// and verifies the synchronization schedules are identical, returning the
+// common schedule.
+func CheckDeterminism(m *Module, cfg SimConfig, n int) (*Schedule, error) {
+	cfg.Deterministic = true
+	cfg.RecordSchedule = true
+	var runs []*Schedule
+	for i := 0; i < n; i++ {
+		res, err := Simulate(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, res.Schedule)
+	}
+	if err := trace.CheckRuns(runs); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	return runs[0], nil
+}

@@ -1,0 +1,152 @@
+package detlock_test
+
+import (
+	"testing"
+
+	detlock "repro"
+)
+
+const testProgram = `
+module api_test
+locks 1
+global counter 1
+
+func work(r0) regs 3 {
+entry:
+  r1 = and r0, 1
+  br r1, a, b
+a:
+  r2 = add r0, 3
+  ret r2
+b:
+  r2 = sub r0, 3
+  ret r2
+}
+
+func main() regs 6 {
+entry:
+  r0 = const 0
+  jmp loop
+loop:
+  r1 = lt r0, 20
+  br r1, body, done
+body:
+  r2 = call work(r0)
+  lock 0
+  r3 = load counter[0]
+  r3 = add r3, r2
+  store counter[0], r3
+  unlock 0
+  r0 = add r0, 1
+  jmp loop
+done:
+  print r0
+  ret r0
+}
+`
+
+func TestParseAndFormat(t *testing.T) {
+	m, err := detlock.ParseProgram(testProgram)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	text := detlock.FormatProgram(m)
+	m2, err := detlock.ParseProgram(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if detlock.FormatProgram(m2) != text {
+		t.Fatalf("format not stable")
+	}
+}
+
+func TestInstrumentAPI(t *testing.T) {
+	m, _ := detlock.ParseProgram(testProgram)
+	res, err := detlock.Instrument(m, detlock.AllOptimizations())
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	if _, ok := res.Clockable["work"]; !ok {
+		t.Fatalf("work should be clockable: %v", res.ClockableNames())
+	}
+}
+
+func TestSimulateBaselineVsDet(t *testing.T) {
+	m, _ := detlock.ParseProgram(testProgram)
+	base, err := detlock.Simulate(m, detlock.SimConfig{Threads: 4})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if base.Acquisitions != 4*20 {
+		t.Fatalf("acquisitions = %d, want 80", base.Acquisitions)
+	}
+	opt := detlock.AllOptimizations()
+	det, err := detlock.Simulate(m, detlock.SimConfig{
+		Threads: 4, Opt: &opt, Deterministic: true, RecordSchedule: true,
+	})
+	if err != nil {
+		t.Fatalf("Simulate det: %v", err)
+	}
+	if det.Cycles < base.Cycles {
+		t.Fatalf("det run faster than baseline")
+	}
+	if det.Schedule == nil || det.Schedule.Len() != 80 {
+		t.Fatalf("schedule not recorded")
+	}
+	if det.ClockUpdates == 0 {
+		t.Fatalf("no clock updates executed")
+	}
+	// Every thread printed its loop count.
+	for tid, out := range det.Output {
+		if len(out) != 1 || out[0] != 20 {
+			t.Fatalf("thread %d output = %v", tid, out)
+		}
+	}
+}
+
+func TestSimulateDoesNotMutateInput(t *testing.T) {
+	m, _ := detlock.ParseProgram(testProgram)
+	before := detlock.FormatProgram(m)
+	opt := detlock.AllOptimizations()
+	if _, err := detlock.Simulate(m, detlock.SimConfig{Threads: 2, Opt: &opt}); err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if detlock.FormatProgram(m) != before {
+		t.Fatalf("Simulate mutated the input module")
+	}
+}
+
+func TestCheckDeterminismAPI(t *testing.T) {
+	m, _ := detlock.ParseProgram(testProgram)
+	opt := detlock.AllOptimizations()
+	sched, err := detlock.CheckDeterminism(m, detlock.SimConfig{Threads: 4, Opt: &opt}, 4)
+	if err != nil {
+		t.Fatalf("CheckDeterminism: %v", err)
+	}
+	if sched.Len() != 80 {
+		t.Fatalf("schedule len = %d", sched.Len())
+	}
+	if sched.Hash() == 0 {
+		t.Fatalf("suspicious zero hash")
+	}
+}
+
+func TestRuntimeFacade(t *testing.T) {
+	rt := detlock.New(3)
+	mu := rt.NewMutex()
+	bar := rt.NewBarrier(3)
+	var order []int
+	rt.Run(func(th *detlock.Thread) {
+		th.Tick(int64(100 - th.ID()*10)) // thread 2 has the lowest clock
+		mu.Lock(th)
+		order = append(order, th.ID())
+		mu.Unlock(th)
+		bar.Wait(th)
+	})
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("acquisition order = %v, want [2 1 0] (by clock)", order)
+	}
+}

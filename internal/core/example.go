@@ -1,0 +1,108 @@
+package core
+
+import "repro/internal/ir"
+
+// WorkedExample builds a function in the image of the paper's running
+// example (Figure 3, taken from Radiosity's BF refinement code), containing
+// one instance of every structure the optimizations target:
+//
+//   - a call to a clockable helper (the paper's intersection_type — the
+//     Function Clocking example of Figure 5);
+//   - an if/else diamond whose merge can be pushed up and whose minimum arm
+//     can be hoisted (Optimization 2a, Figures 7–8);
+//   - the Figure 10 triangle (if.end21 → lor.lhs.false23 → if.then28) inside
+//     a loop, with the upper block at higher loop depth (Optimization 2b);
+//   - a four-path region with clocks {37, 38, 38, 29} that Optimization 3
+//     averages to 35 (§IV-C's worked numbers);
+//   - a small for.inc back-edge block that Optimization 4 merges into the
+//     loop header.
+//
+// cmd/detviz prints this function after each optimization stage,
+// reproducing the flow of the paper's Figures 3 → 13.
+func WorkedExample() *ir.Module {
+	mb := ir.NewModule("worked_example")
+	mb.Global("patches", 256)
+
+	// The clockable helper: balanced arms, loop-free.
+	h := mb.Func("intersection_type", "p")
+	hp := h.Reg("p")
+	hy := h.Reg("y")
+	hc := h.Reg("c")
+	h.Block("entry").
+		Bin(ir.OpAnd, hc, ir.R(hp), ir.Imm(1)).
+		Br(ir.R(hc), "then", "else")
+	tb := h.Block("then")
+	for i := 0; i < 6; i++ {
+		tb.Bin(ir.OpAdd, hy, ir.R(hp), ir.Imm(int64(i)))
+	}
+	tb.Jmp("merge")
+	sb := h.Block("else")
+	for i := 0; i < 6; i++ {
+		sb.Bin(ir.OpSub, hy, ir.R(hp), ir.Imm(int64(i)))
+	}
+	sb.Jmp("merge")
+	h.Block("merge").Ret(ir.R(hy))
+
+	f := mb.Func("bf_refine", "x")
+	x := f.Reg("x")
+	c := f.Reg("c")
+	v := f.Reg("v")
+	i := f.Reg("i")
+	acc := f.Reg("acc")
+
+	// Entry calls the helper (Optimization 1 charges its mean here).
+	eb := f.Block("entry")
+	eb.Call(v, "intersection_type", ir.R(x))
+	eb.Bin(ir.OpAdd, acc, ir.R(v), ir.Imm(1))
+	eb.Jmp("if.end")
+
+	// Optimization 3's region: four paths with clocks {37, 38, 38, 29}.
+	// Block costs are padded so the totals land exactly on §IV-C's numbers.
+	f.Block("if.end").Bin(ir.OpLT, c, ir.R(x), ir.Imm(8)).Br(ir.R(c), "if.then.i", "if.else.i")
+	pad := func(name string, n int, next string) {
+		b := f.Block(name)
+		for k := 0; k < n; k++ {
+			b.Bin(ir.OpAdd, acc, ir.R(acc), ir.Imm(int64(k+1)))
+		}
+		if next == "" {
+			return
+		}
+		b.Jmp(next)
+	}
+	f.Block("if.then.i").Bin(ir.OpLT, c, ir.R(x), ir.Imm(4)).Br(ir.R(c), "if.then29.i", "if.then35.i")
+	f.Block("if.else.i").Bin(ir.OpLT, c, ir.R(x), ir.Imm(12)).Br(ir.R(c), "if.else33", "if.else39")
+	// Path totals: if.end(2) + arm(2) + leaf + o3.merge(1):
+	//   if.then29.i: 37-5=32 pad instrs -> 31 adds + jmp.
+	pad("if.then29.i", 31, "o3.merge") // 2+2+32+1 = 37
+	pad("if.then35.i", 32, "o3.merge") // 38
+	pad("if.else33", 32, "o3.merge")   // 38
+	pad("if.else39", 23, "o3.merge")   // 29
+	f.Block("o3.merge").Jmp("for.cond")
+
+	// Loop with the Figure 10 triangle inside (Optimization 2b: if.end21 at
+	// loop depth 1 is the upper block) and a small for.inc (Optimization 4).
+	f.Block("for.cond").Bin(ir.OpLT, c, ir.R(i), ir.Imm(16)).Br(ir.R(c), "if.end21", "loop.exit")
+	f.Block("if.end21").Bin(ir.OpAnd, c, ir.R(x), ir.Imm(3)).Br(ir.R(c), "lor.lhs.false23", "if.then28")
+	f.Block("lor.lhs.false23").
+		Bin(ir.OpAnd, c, ir.R(acc), ir.Imm(1)).
+		Br(ir.R(c), "if.then28", "for.inc")
+	b28 := f.Block("if.then28")
+	for k := 0; k < 12; k++ {
+		b28.Bin(ir.OpAdd, acc, ir.R(acc), ir.Imm(int64(k)))
+	}
+	b28.Jmp("for.inc")
+	f.Block("for.inc").Bin(ir.OpAdd, i, ir.R(i), ir.Imm(1)).Jmp("for.cond")
+
+	// Final diamond for Optimization 2a.
+	f.Block("loop.exit").Bin(ir.OpGT, c, ir.R(acc), ir.Imm(100)).Br(ir.R(c), "d.then", "d.else")
+	pad("d.then", 3, "d.merge")
+	pad("d.else", 9, "d.merge")
+	dm := f.Block("d.merge")
+	dm.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(v))
+	dm.Ret(ir.R(acc))
+
+	mm := mb.Func("main")
+	r := mm.Reg("r")
+	mm.Block("entry").Call(r, "bf_refine", ir.Imm(7)).Ret(ir.R(r))
+	return mb.M
+}

@@ -1,0 +1,138 @@
+package core
+
+import "repro/internal/ir"
+
+// Optimization 3 — Averaging of Clocks (paper Figure 11).
+//
+// A specialized Function Clocking applied inside a function: for a branch
+// block, enumerate the clocks of all paths through the region it dominates —
+// stopping at back edges, at blocks with unclocked calls, and below merge
+// nodes with successors not dominated by the region root. If the paths agree
+// under the isClockable criteria, the root is assigned the mean and every
+// block the paths touched loses its clock. The search then resumes from the
+// successors of the touched blocks.
+
+// applyOpt3 runs Optimization 3 over f; returns the number of regions
+// averaged.
+func (p *passCtx) applyOpt3(f *ir.Func) int {
+	if f.Entry() == nil {
+		return 0
+	}
+	moves := 0
+	dt := ir.NewDomTree(f)
+	li := ir.NewLoopInfo(f)
+	visited := make(map[*ir.Block]bool, len(f.Blocks))
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if visited[b] {
+			return
+		}
+		visited[b] = true
+		if p.meetsOpt3Requirements(b, li) {
+			clocks, touched, ok := p.opt3PathClocks(b, dt, li)
+			if ok {
+				st := ir.Stats(clocks)
+				if p.meetsCriteria(st) && len(touched) > 1 {
+					avg := int64(st.Mean)
+					for tb := range touched {
+						tb.Clock = 0
+					}
+					b.Clock = avg
+					moves++
+					// Resume from successors of touched blocks outside the
+					// region (Figure 11, lines 13-16).
+					for tb := range touched {
+						visited[tb] = true
+						for _, s := range tb.Term.Succs {
+							if !touched[s] {
+								walk(s)
+							}
+						}
+					}
+					return
+				}
+			}
+		}
+		for _, s := range b.Term.Succs {
+			walk(s)
+		}
+	}
+	walk(f.Entry())
+	return moves
+}
+
+// meetsOpt3Requirements: the region root must be a clockable branch block
+// (averaging a straight line is Optimization 2a's job) and not a loop
+// header, whose region would include its own back edge.
+func (p *passCtx) meetsOpt3Requirements(b *ir.Block, li *ir.LoopInfo) bool {
+	if b.Unclockable || li.IsHeader(b) {
+		return false
+	}
+	return len(distinctSuccs(b)) >= 2
+}
+
+// opt3PathClocks enumerates region path clocks from root. A path extends
+// into a successor only when the successor is dominated by root, is not
+// reached via a back edge, and is clockable; otherwise the path ends at the
+// current block (inclusive). Returns the path clocks and the set of blocks
+// included in any path.
+func (p *passCtx) opt3PathClocks(root *ir.Block, dt *ir.DomTree, li *ir.LoopInfo) ([]int64, map[*ir.Block]bool, bool) {
+	touched := map[*ir.Block]bool{}
+	var clocks []int64
+	onStack := map[*ir.Block]bool{}
+	ok := true
+	var walk func(b *ir.Block, acc int64)
+	walk = func(b *ir.Block, acc int64) {
+		if !ok {
+			return
+		}
+		acc += b.Clock
+		touched[b] = true
+		if len(clocks) > ir.MaxPaths {
+			ok = false
+			return
+		}
+		// Decide which successors the path may continue into.
+		var next []*ir.Block
+		for _, s := range distinctSuccs(b) {
+			if li.IsBackEdge(b, s) {
+				continue // stop at back edges
+			}
+			if li.IsHeader(s) {
+				// Entering a loop: the body would execute once per
+				// iteration but the averaged clock charges it once — stop
+				// before the header (the paper's "stop when we see
+				// backedges" must hold dynamically, not just lexically).
+				continue
+			}
+			if !dt.Dominates(root, s) {
+				continue // stop below merge nodes escaping the region
+			}
+			if s.Unclockable {
+				continue // stop before unclocked calls
+			}
+			if onStack[s] {
+				continue // irreducible cycle guard
+			}
+			next = append(next, s)
+		}
+		if b.Term.Kind == ir.TermRet || len(next) == 0 {
+			clocks = append(clocks, acc)
+			return
+		}
+		// If some successors were cut off, those continuations end here too.
+		if len(next) < len(distinctSuccs(b)) {
+			clocks = append(clocks, acc)
+		}
+		onStack[b] = true
+		for _, s := range next {
+			walk(s, acc)
+		}
+		delete(onStack, b)
+	}
+	walk(root, 0)
+	if !ok {
+		return nil, nil, false
+	}
+	return clocks, touched, true
+}

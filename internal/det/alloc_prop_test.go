@@ -1,0 +1,105 @@
+package det
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAllocatorNoOverlapProperty: under any sequence of alloc/free
+// operations, live blocks never overlap and never exceed the arena.
+func TestAllocatorNoOverlapProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const arena = 512
+		rt := New(1)
+		al := rt.NewAllocator(arena)
+		ok := true
+		rt.Run(func(th *Thread) {
+			type block struct{ off, size int64 }
+			var live []block
+			for _, op := range ops {
+				if op%3 == 0 && len(live) > 0 {
+					// Free the op-selected live block.
+					i := int(op/3) % len(live)
+					al.Free(th, live[i].off)
+					live = append(live[:i], live[i+1:]...)
+					continue
+				}
+				size := int64(op%31) + 1
+				off := al.Alloc(th, size)
+				if off < 0 {
+					continue // arena full: acceptable
+				}
+				if off+size > arena {
+					ok = false
+					return
+				}
+				for _, b := range live {
+					if off < b.off+b.size && b.off < off+size {
+						ok = false // overlap
+						return
+					}
+				}
+				live = append(live, block{off, size})
+			}
+			// Free everything; afterwards a full-arena allocation must
+			// succeed (perfect coalescing).
+			for _, b := range live {
+				al.Free(th, b.off)
+			}
+			if got := al.Alloc(th, arena); got != 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpawnTreeDeterministic: a tree of dynamically spawned threads gets
+// deterministic ids and final clocks.
+func TestSpawnTreeDeterministic(t *testing.T) {
+	run := func() (ids []int, clocks []int64) {
+		rt := New(1)
+		rt.Run(func(root *Thread) {
+			root.Tick(5)
+			var kids []*Thread
+			for i := 0; i < 3; i++ {
+				i := i
+				kids = append(kids, root.Spawn(func(c *Thread) {
+					c.Tick(int64(100 * (i + 1)))
+					g := c.Spawn(func(gc *Thread) { gc.Tick(7) })
+					c.Join(g)
+				}))
+			}
+			for _, k := range kids {
+				root.Join(k)
+			}
+			rt.mu.Lock()
+			for _, th := range rt.threads {
+				ids = append(ids, th.id)
+				clocks = append(clocks, th.finalClock)
+			}
+			rt.mu.Unlock()
+		})
+		return
+	}
+	ids1, clocks1 := run()
+	ids2, clocks2 := run()
+	if len(ids1) != 7 { // root + 3 children + 3 grandchildren
+		t.Fatalf("threads = %d, want 7", len(ids1))
+	}
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatalf("thread ids differ across runs: %v vs %v", ids1, ids2)
+		}
+	}
+	// Children's final clocks are deterministic; the root joins last so its
+	// clock dominates. Clock values must be identical run to run.
+	for i := range clocks1 {
+		if i < len(clocks1)-0 && clocks1[i] != clocks2[i] && ids1[i] != 0 {
+			t.Fatalf("final clocks differ: %v vs %v", clocks1, clocks2)
+		}
+	}
+}

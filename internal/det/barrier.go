@@ -1,0 +1,67 @@
+package det
+
+// Barrier is a deterministic cyclic barrier for a fixed number of
+// participants. On release, every participant resumes with clock
+// max(arrival clocks) + 1, so the post-barrier clocks — and therefore all
+// downstream synchronization decisions — are independent of arrival timing.
+type Barrier struct {
+	rt *Runtime
+	n  int
+
+	arrived []*Thread
+	// cycles counts completed barrier episodes.
+	cycles int64
+}
+
+// NewBarrier creates a barrier for n participants.
+func (rt *Runtime) NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("det: barrier needs at least one participant")
+	}
+	return &Barrier{rt: rt, n: n}
+}
+
+// Cycles returns the number of completed barrier episodes.
+func (b *Barrier) Cycles() int64 {
+	b.rt.mu.Lock()
+	defer b.rt.mu.Unlock()
+	return b.cycles
+}
+
+// Wait blocks until n threads have arrived. Arrival is a turn-gated event,
+// so the arrival order is deterministic; arrived threads are excluded from
+// the turn predicate so laggards are never starved by frozen clocks.
+func (b *Barrier) Wait(t *Thread) {
+	if b.rt != t.rt {
+		panic("det: barrier used with a thread from another runtime")
+	}
+	blocked := false
+	b.rt.event(t, func() bool {
+		b.arrived = append(b.arrived, t)
+		if len(b.arrived) < b.n {
+			t.excluded.Store(true)
+			blocked = true
+			return true
+		}
+		// Last arrival: release everyone with the synchronized clock.
+		var max int64
+		for _, w := range b.arrived {
+			if c := w.clock.Load(); c > max {
+				max = c
+			}
+		}
+		release := max + 1
+		for _, w := range b.arrived[:len(b.arrived)-1] {
+			w.clock.Store(release)
+			w.excluded.Store(false)
+			w.wake <- struct{}{}
+		}
+		t.clock.Store(release)
+		b.arrived = nil
+		b.cycles++
+		return true
+	})
+	if blocked {
+		<-t.wake
+	}
+}

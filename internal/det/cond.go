@@ -1,0 +1,85 @@
+package det
+
+// Cond is a deterministic condition variable bound to a Mutex. The paper
+// lists condition variables as unimplemented in its evaluation ("we have not
+// yet implemented other synchronization operations, such as condition
+// variables", §V); this is the natural extension under the same turn-gated
+// event model: waits and signals are totally ordered by (clock, id), and a
+// signalled waiter re-enters the mutex queue deterministically.
+type Cond struct {
+	rt *Runtime
+	m  *Mutex
+
+	waiters []*Thread
+	signals int64
+}
+
+// NewCond creates a condition variable bound to m.
+func (rt *Runtime) NewCond(m *Mutex) *Cond {
+	if m.rt != rt {
+		panic("det: cond bound to a mutex from another runtime")
+	}
+	return &Cond{rt: rt, m: m}
+}
+
+// Wait atomically releases the mutex and blocks until signalled; it
+// reacquires the mutex (via the deterministic grant queue) before returning.
+// The caller must hold the mutex.
+func (c *Cond) Wait(t *Thread) {
+	c.rt.event(t, func() bool {
+		if !c.m.held || c.m.holder != t {
+			panic("det: Cond.Wait without holding the mutex")
+		}
+		t.clock.Add(1)
+		c.waiters = append(c.waiters, t)
+		t.excluded.Store(true)
+		c.m.releaseLocked(t)
+		return true
+	})
+	// Woken only by a mutex grant: Signal moves us to the mutex queue and an
+	// Unlock (or releaseLocked) eventually grants us the lock.
+	<-t.wake
+}
+
+// Signal wakes the first waiter (deterministic arrival order) by moving it
+// to the mutex's grant queue; it acquires the mutex when the current holder
+// releases. The caller must hold the mutex (matching pthread semantics where
+// signalling under the lock gives deterministic behavior).
+func (c *Cond) Signal(t *Thread) {
+	c.rt.event(t, func() bool {
+		if !c.m.held || c.m.holder != t {
+			panic("det: Cond.Signal without holding the mutex")
+		}
+		t.clock.Add(1)
+		if len(c.waiters) > 0 {
+			w := c.waiters[0]
+			c.waiters = c.waiters[1:]
+			c.m.waiters = append(c.m.waiters, w)
+			c.signals++
+		}
+		return true
+	})
+}
+
+// Broadcast wakes all waiters, preserving their deterministic order.
+func (c *Cond) Broadcast(t *Thread) {
+	c.rt.event(t, func() bool {
+		if !c.m.held || c.m.holder != t {
+			panic("det: Cond.Broadcast without holding the mutex")
+		}
+		t.clock.Add(1)
+		if len(c.waiters) > 0 {
+			c.m.waiters = append(c.m.waiters, c.waiters...)
+			c.signals += int64(len(c.waiters))
+			c.waiters = nil
+		}
+		return true
+	})
+}
+
+// Signals returns the number of delivered signals.
+func (c *Cond) Signals() int64 {
+	c.rt.mu.Lock()
+	defer c.rt.mu.Unlock()
+	return c.signals
+}

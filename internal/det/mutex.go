@@ -1,0 +1,141 @@
+package det
+
+// Mutex is a deterministic mutual-exclusion lock. For a race-free program
+// with a fixed input, the global sequence of (thread, acquisition) pairs on
+// every Mutex is identical across runs (weak determinism).
+type Mutex struct {
+	rt *Runtime
+
+	held   bool
+	holder *Thread
+	// waiters are blocked threads in deterministic arrival order (arrivals
+	// are turn-gated, so this order is a function of logical clocks only).
+	waiters []*Thread
+
+	// acquisitions counts grants on this mutex.
+	acquisitions int64
+	// lastAcquirer and lastClock describe the most recent grant, for traces.
+	lastAcquirer int
+	lastClock    int64
+
+	// observer, when set, is called at every acquisition (under the runtime
+	// lock) with the acquiring thread and its post-acquisition clock. Used by
+	// package trace.
+	observer func(threadID int, clock int64)
+}
+
+// NewMutex creates a deterministic mutex managed by rt.
+func (rt *Runtime) NewMutex() *Mutex { return &Mutex{rt: rt} }
+
+// SetObserver installs fn to observe acquisitions. Must be called before the
+// mutex is shared.
+func (m *Mutex) SetObserver(fn func(threadID int, clock int64)) { m.observer = fn }
+
+// Acquisitions returns how many times the mutex has been acquired.
+func (m *Mutex) Acquisitions() int64 {
+	m.rt.mu.Lock()
+	defer m.rt.mu.Unlock()
+	return m.acquisitions
+}
+
+// Lock acquires m deterministically: the thread waits for its global turn
+// (clock minimal, ties by id); if the mutex is free it takes it and ticks;
+// otherwise it enqueues with its clock frozen and blocks until the releaser
+// grants it, resuming at the frozen clock plus the acquisition tick. The
+// paper's semantics: clock paused while waiting, resumed after acquisition.
+func (m *Mutex) Lock(t *Thread) {
+	if m.rt != t.rt {
+		panic("det: mutex used with a thread from another runtime")
+	}
+	blocked := false
+	m.rt.event(t, func() bool {
+		if !m.held {
+			m.take(t, t.clock.Load()+1)
+			return true
+		}
+		m.waiters = append(m.waiters, t)
+		t.blockExcludedLocked()
+		blocked = true
+		return true
+	})
+	if blocked {
+		// The granter set our clock and cleared exclusion before waking us;
+		// nothing left to do: we own the mutex.
+		<-t.wake
+	}
+}
+
+// take records the acquisition. Caller holds rt.mu and the turn.
+func (m *Mutex) take(t *Thread, newClock int64) {
+	m.held = true
+	m.holder = t
+	m.acquisitions++
+	m.lastAcquirer = t.id
+	m.lastClock = newClock
+	t.clock.Store(newClock)
+	m.rt.acquisitions.Add(1)
+	if m.observer != nil {
+		m.observer(t.id, newClock)
+	}
+}
+
+// Unlock releases m. The release is itself turn-gated, which totally orders
+// all synchronization events by (clock, id) and makes the waiter handoff
+// deterministic. If waiters are queued, the first one is granted with clock
+// max(frozen, releaser's clock) + 1.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.rt != t.rt {
+		panic("det: mutex used with a thread from another runtime")
+	}
+	m.rt.event(t, func() bool {
+		if !m.held || m.holder != t {
+			panic("det: unlock of mutex not held by this thread")
+		}
+		t.clock.Add(1)
+		m.releaseLocked(t)
+		return true
+	})
+}
+
+// releaseLocked hands the mutex to the first queued waiter, or frees it.
+// Caller holds rt.mu and the turn; t is the current holder. Shared by Unlock
+// and Cond.Wait.
+func (m *Mutex) releaseLocked(t *Thread) {
+	if len(m.waiters) == 0 {
+		m.held = false
+		m.holder = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	// Kendo semantics: the waiter's clock was paused while blocked; it
+	// resumes at its frozen value plus the acquisition tick. The value is
+	// independent of how long the wait physically lasted, so determinism is
+	// preserved.
+	newClock := next.clock.Load() + 1
+	m.take(next, newClock)
+	next.excluded.Store(false)
+	next.wake <- struct{}{}
+}
+
+// TryLock acquires m if it is free at the thread's turn; it never blocks.
+// Returns whether the lock was taken. Deterministic for the same reason Lock
+// is: the decision happens at a totally-ordered event.
+func (m *Mutex) TryLock(t *Thread) bool {
+	ok := false
+	m.rt.event(t, func() bool {
+		t.clock.Add(1)
+		if !m.held {
+			m.take(t, t.clock.Load())
+			ok = true
+		}
+		return true
+	})
+	return ok
+}
+
+// blockExcludedLocked marks t excluded while rt.mu is held by the event
+// callback; the actual channel wait happens after the event returns.
+func (t *Thread) blockExcludedLocked() {
+	t.excluded.Store(true)
+}

@@ -1,0 +1,242 @@
+// Package det is the deterministic execution runtime: Kendo's weak
+// determinism (deterministic lock acquisition order for race-free programs)
+// for real goroutines, driven by the logical clocks that the DetLock pass —
+// or explicit Tick calls — provide.
+//
+// The paper states the rule (§II): "a thread may complete a synchronization
+// operation only when its clock becomes less than those of the other
+// threads, with ties broken with thread IDs; the clock is paused when
+// waiting for a lock and resumed after the lock is acquired."
+//
+// This package makes that rule airtight under Go's non-deterministic
+// scheduler by treating every synchronization operation as a turn-gated
+// event:
+//
+//   - A thread's published logical clock advances only through Tick (the
+//     instrumentation) and through synchronization events.
+//   - An event may execute only when the thread's (clock, id) pair is the
+//     minimum among all non-excluded threads. Threads blocked inside a
+//     synchronization operation (lock waiters, barrier arrivals, joiners)
+//     are excluded, with their clocks frozen, so the system cannot deadlock
+//     on a waiter's frozen clock.
+//   - Contended locks grant FIFO in waiter-arrival order; since arrivals are
+//     themselves turn-gated, that order — and therefore the acquisition
+//     order — is a deterministic function of the program's logical clocks,
+//     regardless of physical scheduling.
+//   - A woken waiter's clock was paused while it waited and resumes at its
+//     frozen value plus the acquisition tick (Kendo's pause/resume rule), a
+//     value independent of how long it physically waited.
+//
+// Physical timing affects only wall-clock duration, never the synchronization
+// order or the clock values — which is exactly weak determinism.
+package det
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runtime coordinates a set of deterministic threads.
+type Runtime struct {
+	mu      sync.Mutex
+	threads []*Thread
+	nLive   int
+
+	// acquisitions counts lock acquisition events; used by traces and stats.
+	acquisitions atomic.Int64
+}
+
+// Thread is one deterministic thread of execution. All methods must be called
+// only from the goroutine running the thread.
+type Thread struct {
+	rt *Runtime
+	id int
+
+	clock atomic.Int64
+	// excluded marks the thread invisible to the turn predicate: it is
+	// blocked inside a synchronization operation, or finished.
+	excluded atomic.Bool
+	// wake delivers grant notifications to a blocked thread.
+	wake chan struct{}
+
+	done bool
+	// finalClock is the clock at completion, read by joiners.
+	finalClock int64
+}
+
+// New creates a runtime with n threads, ids 0..n-1, all clocks zero.
+func New(n int) *Runtime {
+	if n <= 0 {
+		panic("det: runtime needs at least one thread")
+	}
+	rt := &Runtime{}
+	for i := 0; i < n; i++ {
+		rt.threads = append(rt.threads, newThread(rt, i))
+	}
+	rt.nLive = n
+	return rt
+}
+
+func newThread(rt *Runtime, id int) *Thread {
+	return &Thread{rt: rt, id: id, wake: make(chan struct{}, 1)}
+}
+
+// NumThreads returns the number of threads ever registered.
+func (rt *Runtime) NumThreads() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.threads)
+}
+
+// Acquisitions returns the total number of deterministic lock acquisitions.
+func (rt *Runtime) Acquisitions() int64 { return rt.acquisitions.Load() }
+
+// Run executes body concurrently on every thread (SPMD style) and returns
+// when all threads have finished. It is the normal entry point:
+//
+//	rt := det.New(4)
+//	rt.Run(func(t *det.Thread) { ... t.Tick(...) ... mu.Lock(t) ... })
+func (rt *Runtime) Run(body func(t *Thread)) {
+	var wg sync.WaitGroup
+	rt.mu.Lock()
+	threads := append([]*Thread(nil), rt.threads...)
+	rt.mu.Unlock()
+	for _, t := range threads {
+		wg.Add(1)
+		go func(t *Thread) {
+			defer wg.Done()
+			defer t.finish()
+			body(t)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ID returns the deterministic thread id.
+func (t *Thread) ID() int { return t.id }
+
+// Clock returns the thread's current logical clock.
+func (t *Thread) Clock() int64 { return t.clock.Load() }
+
+// Tick advances the logical clock by n units. The DetLock pass's clockadd
+// instructions map to Tick; hand-written programs call it to account for the
+// work between synchronization operations ("one instruction equals one
+// logical clock count", §III-A). n must be non-negative.
+func (t *Thread) Tick(n int64) {
+	if n < 0 {
+		panic("det: negative Tick")
+	}
+	t.clock.Add(n)
+}
+
+// finish marks the thread completed: excluded from turn computation forever.
+// Joiners and turn spinners poll state, so no wakeup channel is involved —
+// the wake channel carries only lock/condvar grants, exactly one token per
+// grant, which keeps grant delivery free of spurious wakeups.
+func (t *Thread) finish() {
+	rt := t.rt
+	rt.mu.Lock()
+	t.done = true
+	t.finalClock = t.clock.Load()
+	t.excluded.Store(true)
+	rt.nLive--
+	rt.mu.Unlock()
+}
+
+// hasTurn reports whether t's (clock, id) is minimal among non-excluded
+// threads. Caller must hold rt.mu.
+func (rt *Runtime) hasTurn(t *Thread) bool {
+	c := t.clock.Load()
+	for _, o := range rt.threads {
+		if o == t || o.excluded.Load() {
+			continue
+		}
+		oc := o.clock.Load()
+		if oc < c || (oc == c && o.id < t.id) {
+			return false
+		}
+	}
+	return true
+}
+
+// event runs fn while t holds the global turn, under rt.mu. fn returns true
+// when the event completed; returning false re-queues the turn wait (used by
+// operations that discover they must block). The spin uses Gosched rather
+// than condition variables: ticks are lock-free atomic adds, so there is no
+// cheap place to broadcast from — this mirrors Kendo's spinning waiters.
+func (rt *Runtime) event(t *Thread, fn func() bool) {
+	for {
+		rt.mu.Lock()
+		if rt.hasTurn(t) {
+			done := func() bool {
+				// Release rt.mu even if fn panics (e.g. unlock of an unheld
+				// mutex), so the runtime stays usable for other threads.
+				defer rt.mu.Unlock()
+				return fn()
+			}()
+			if done {
+				return
+			}
+			continue
+		}
+		rt.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
+// Spawn creates a new deterministic thread running fn, with the next
+// sequential id and clock = parent clock + 1. The spawn itself is a
+// turn-gated event, so ids are assigned deterministically. It returns a
+// handle for Join.
+func (t *Thread) Spawn(fn func(*Thread)) *Thread {
+	rt := t.rt
+	var child *Thread
+	rt.event(t, func() bool {
+		child = newThread(rt, len(rt.threads))
+		child.clock.Store(t.clock.Load() + 1)
+		rt.threads = append(rt.threads, child)
+		rt.nLive++
+		t.clock.Add(1)
+		return true
+	})
+	go func() {
+		defer child.finish()
+		fn(child)
+	}()
+	return child
+}
+
+// Join blocks until child finishes, then advances the joiner's clock to
+// max(own, child's final clock) + 1. The joiner is excluded while waiting so
+// the child's synchronization is not starved by the joiner's frozen clock;
+// joining performs no synchronization decision itself, and the resume clock
+// depends only on deterministic values, so no turn is needed.
+func (t *Thread) Join(child *Thread) {
+	rt := t.rt
+	t.excluded.Store(true)
+	for {
+		rt.mu.Lock()
+		if child.done {
+			t.clock.Store(maxInt64(t.clock.Load(), child.finalClock) + 1)
+			t.excluded.Store(false)
+			rt.mu.Unlock()
+			return
+		}
+		rt.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String identifies the thread for diagnostics.
+func (t *Thread) String() string {
+	return fmt.Sprintf("det.Thread(id=%d clock=%d)", t.id, t.Clock())
+}

@@ -1,0 +1,173 @@
+// Package harness runs the paper's experiments: every benchmark × every
+// optimization preset × every execution mode, producing the rows of Table I,
+// Table II, and the series behind Figures 14 and 15.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/estimates"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/splash"
+)
+
+// CPUHz converts simulated cycles to seconds; the paper's machine is a
+// 2.66 GHz quad-core (§V).
+const CPUHz = 2.66e9
+
+// Mode is an execution configuration.
+type Mode uint8
+
+// Execution modes.
+const (
+	// ModeBaseline: uninstrumented module, plain FCFS locks — the paper's
+	// "Original Exec Time" row.
+	ModeBaseline Mode = iota
+	// ModeClocksOnly: instrumented module, FCFS locks — "After Inserting
+	// Clocks" (upper half of Table I).
+	ModeClocksOnly
+	// ModeDet: instrumented module, deterministic locks — "After Inserting
+	// Clocks and Performing Deterministic Execution" (lower half).
+	ModeDet
+	// ModeKendo: uninstrumented module, deterministic locks driven by the
+	// simulated retired-store counter — the Kendo baseline of Table II.
+	ModeKendo
+)
+
+// RunResult captures one simulation.
+type RunResult struct {
+	Mode         Mode
+	Makespan     int64
+	WaitCycles   int64
+	Acquisitions int64
+	ClockUpdates int64
+	Interrupts   int64
+	Instrs       int64
+	Clockable    int
+	Trace        []sim.Acquisition
+}
+
+// Seconds converts the makespan to seconds at CPUHz.
+func (r *RunResult) Seconds() float64 { return float64(r.Makespan) / CPUHz }
+
+// LocksPerSec is the whole-run lock rate.
+func (r *RunResult) LocksPerSec() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.Acquisitions) / r.Seconds()
+}
+
+// OverheadPct returns the percentage slowdown of r versus base.
+func OverheadPct(r, base *RunResult) float64 {
+	if base.Makespan == 0 {
+		return 0
+	}
+	return (float64(r.Makespan)/float64(base.Makespan) - 1) * 100
+}
+
+// Runner caches per-benchmark baselines and shared tables.
+type Runner struct {
+	Threads int
+	Costs   *ir.CostModel
+	Est     *estimates.Table
+	// KendoChunks is the chunk-size sweep used to "manually tune" the Kendo
+	// baseline the way the paper's authors did (§V-C).
+	KendoChunks []int64
+	// RecordTraces enables acquisition traces on every run.
+	RecordTraces bool
+}
+
+// NewRunner returns a runner with the paper's defaults (4 threads).
+func NewRunner() *Runner {
+	return &Runner{
+		Threads:     4,
+		Costs:       ir.DefaultCostModel(),
+		Est:         estimates.DefaultTable(),
+		KendoChunks: []int64{100, 250, 1000, 4000, 16000, 64000},
+	}
+}
+
+// Run executes one benchmark under one mode/preset configuration.
+// The opt parameter is ignored for ModeBaseline and ModeKendo.
+func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChunk int64) (*RunResult, error) {
+	m := b.Module.Clone()
+	res := &RunResult{Mode: mode}
+
+	instrument := mode == ModeClocksOnly || mode == ModeDet
+	if instrument {
+		opt.Roots = []string{b.Entry}
+		ir2, err := core.Instrument(m, r.Costs, r.Est, opt)
+		if err != nil {
+			return nil, fmt.Errorf("harness: instrument %s: %w", b.Name, err)
+		}
+		res.Clockable = len(ir2.Clockable)
+	}
+
+	cfg := interp.Config{
+		Module:    m,
+		Costs:     r.Costs,
+		Estimates: r.Est,
+		Threads:   b.Threads,
+		Entry:     b.Entry,
+	}
+	if mode == ModeKendo {
+		cfg.Mode = interp.ModeKendo
+		cfg.KendoChunkSize = kendoChunk
+	}
+	mach, threads, err := interp.NewMachine(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	}
+
+	policy := sim.PolicyFCFS
+	if mode == ModeDet || mode == ModeKendo {
+		policy = sim.PolicyDet
+	}
+	eng := sim.New(sim.Config{
+		Policy:      policy,
+		NumLocks:    m.NumLocks,
+		NumBarriers: m.NumBars,
+		RecordTrace: r.RecordTraces,
+	}, interp.Programs(threads))
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	}
+	res.Makespan = stats.Makespan
+	res.WaitCycles = stats.WaitCycles
+	res.Acquisitions = stats.Acquisitions
+	res.ClockUpdates = mach.ClockUpdates
+	res.Interrupts = mach.Interrupts
+	res.Instrs = mach.InstrsExecuted
+	res.Trace = stats.Trace
+	return res, nil
+}
+
+// PresetKeys lists Table I preset row keys in order.
+func PresetKeys() []string { return []string{"none", "O1", "O2", "O3", "O4", "all"} }
+
+// PresetByKey maps a row key to its option set.
+func PresetByKey(key string) core.Options {
+	switch key {
+	case "none":
+		return core.OptNone
+	case "O1":
+		return core.OptO1
+	case "O2":
+		return core.OptO2
+	case "O3":
+		return core.OptO3
+	case "O4":
+		return core.OptO4
+	case "all":
+		return core.OptAll
+	}
+	panic("harness: unknown preset key " + key)
+}
+
+// PresetLabel returns the Table I row label for a key.
+func PresetLabel(key string) string { return core.PresetName(PresetByKey(key)) }

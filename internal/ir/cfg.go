@@ -1,0 +1,231 @@
+package ir
+
+// CFG analyses: predecessors, reverse postorder, dominator tree, natural
+// loops and loop depth. These feed the DetLock optimizations: O2a needs
+// predecessors/merge-node structure and loop headers, O2b needs loop depth,
+// O3 needs dominance, O4 needs back edges.
+
+// Preds computes the predecessor lists of every block, indexed by Block.Index.
+func Preds(f *Func) [][]*Block {
+	f.reindex()
+	preds := make([][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Term.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	return preds
+}
+
+// ReversePostorder returns the blocks reachable from entry in reverse
+// postorder (entry first).
+func ReversePostorder(f *Func) []*Block {
+	f.reindex()
+	seen := make([]bool, len(f.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Term.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if len(f.Blocks) > 0 {
+		dfs(f.Blocks[0])
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// DomTree holds immediate-dominator information for a function.
+type DomTree struct {
+	f *Func
+	// idom[i] is the immediate dominator of block i (nil for entry and for
+	// unreachable blocks).
+	idom []*Block
+	// rpoNum[i] is the reverse-postorder number of block i, or -1 if
+	// unreachable.
+	rpoNum []int
+}
+
+// NewDomTree computes the dominator tree using the Cooper–Harvey–Kennedy
+// iterative algorithm over reverse postorder.
+func NewDomTree(f *Func) *DomTree {
+	f.reindex()
+	rpo := ReversePostorder(f)
+	n := len(f.Blocks)
+	dt := &DomTree{f: f, idom: make([]*Block, n), rpoNum: make([]int, n)}
+	for i := range dt.rpoNum {
+		dt.rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		dt.rpoNum[b.Index] = i
+	}
+	if len(rpo) == 0 {
+		return dt
+	}
+	preds := Preds(f)
+	entry := rpo[0]
+	dt.idom[entry.Index] = entry // temporarily self, cleared below
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range preds[b.Index] {
+				if dt.rpoNum[p.Index] < 0 || dt.idom[p.Index] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = dt.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && dt.idom[b.Index] != newIdom {
+				dt.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	dt.idom[entry.Index] = nil
+	return dt
+}
+
+func (dt *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for dt.rpoNum[a.Index] > dt.rpoNum[b.Index] {
+			a = dt.idom[a.Index]
+		}
+		for dt.rpoNum[b.Index] > dt.rpoNum[a.Index] {
+			b = dt.idom[b.Index]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (nil for the entry block).
+func (dt *DomTree) Idom(b *Block) *Block { return dt.idom[b.Index] }
+
+// Reachable reports whether b is reachable from the entry block.
+func (dt *DomTree) Reachable(b *Block) bool { return dt.rpoNum[b.Index] >= 0 }
+
+// Dominates reports whether a dominates b (reflexively).
+func (dt *DomTree) Dominates(a, b *Block) bool {
+	if !dt.Reachable(a) || !dt.Reachable(b) {
+		return false
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = dt.idom[b.Index]
+	}
+	return false
+}
+
+// BackEdge is a CFG edge whose destination dominates its source.
+type BackEdge struct {
+	From, To *Block
+}
+
+// Loop is a natural loop: the header plus the body block set.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+}
+
+// Contains reports whether the loop body includes b.
+func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
+
+// LoopInfo aggregates back edges, natural loops and per-block loop depth.
+type LoopInfo struct {
+	BackEdges []BackEdge
+	Loops     []*Loop
+	// depth[i] is the loop nesting depth of block i (0 = not in any loop).
+	depth   []int
+	headers map[*Block]bool
+}
+
+// NewLoopInfo detects natural loops via dominance-based back-edge detection.
+func NewLoopInfo(f *Func) *LoopInfo {
+	f.reindex()
+	dt := NewDomTree(f)
+	li := &LoopInfo{depth: make([]int, len(f.Blocks)), headers: map[*Block]bool{}}
+	preds := Preds(f)
+	for _, b := range f.Blocks {
+		if !dt.Reachable(b) {
+			continue
+		}
+		for _, s := range b.Term.Succs {
+			if dt.Dominates(s, b) {
+				li.BackEdges = append(li.BackEdges, BackEdge{From: b, To: s})
+			}
+		}
+	}
+	// Merge back edges with the same header into one natural loop.
+	byHeader := map[*Block]*Loop{}
+	for _, be := range li.BackEdges {
+		l := byHeader[be.To]
+		if l == nil {
+			l = &Loop{Header: be.To, Blocks: map[*Block]bool{be.To: true}}
+			byHeader[be.To] = l
+			li.Loops = append(li.Loops, l)
+			li.headers[be.To] = true
+		}
+		// Standard natural-loop body collection: walk predecessors back from
+		// the latch until the header.
+		var stack []*Block
+		if !l.Blocks[be.From] {
+			l.Blocks[be.From] = true
+			stack = append(stack, be.From)
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range preds[x.Index] {
+				if !l.Blocks[p] && dt.Reachable(p) {
+					l.Blocks[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	for _, l := range li.Loops {
+		for b := range l.Blocks {
+			li.depth[b.Index]++
+		}
+	}
+	return li
+}
+
+// Depth returns b's loop nesting depth (0 when outside all loops).
+func (li *LoopInfo) Depth(b *Block) int { return li.depth[b.Index] }
+
+// IsHeader reports whether b is a natural-loop header.
+func (li *LoopInfo) IsHeader(b *Block) bool { return li.headers[b] }
+
+// IsBackEdge reports whether from->to is a back edge.
+func (li *LoopInfo) IsBackEdge(from, to *Block) bool {
+	for _, be := range li.BackEdges {
+		if be.From == from && be.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// InnermostLoop returns the smallest loop containing b, or nil.
+func (li *LoopInfo) InnermostLoop(b *Block) *Loop {
+	var best *Loop
+	for _, l := range li.Loops {
+		if l.Contains(b) && (best == nil || len(l.Blocks) < len(best.Blocks)) {
+			best = l
+		}
+	}
+	return best
+}

@@ -1,0 +1,538 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR format produced by Module.String. It is used by
+// cmd/detlock to load .dir program files and by round-trip tests.
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	return p.parseModule()
+}
+
+// MustParse parses src and panics on error; for tests and embedded programs.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("ir: parse error at line %d: %s", e.line, e.msg)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &parseError{line: p.pos, msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next significant line (comments and blanks stripped),
+// or "" at EOF.
+func (p *parser) next() string {
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		p.pos++
+		if i := strings.Index(ln, ";"); i >= 0 {
+			ln = ln[:i]
+		}
+		ln = strings.TrimSpace(ln)
+		if ln != "" {
+			return ln
+		}
+	}
+	return ""
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	m := &Module{}
+	ln := p.next()
+	if !strings.HasPrefix(ln, "module ") {
+		return nil, p.errf("expected 'module <name>', got %q", ln)
+	}
+	m.Name = strings.TrimSpace(strings.TrimPrefix(ln, "module "))
+	for {
+		ln = p.next()
+		if ln == "" {
+			break
+		}
+		switch {
+		case strings.HasPrefix(ln, "locks "):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(ln, "locks ")))
+			if err != nil {
+				return nil, p.errf("bad locks count: %v", err)
+			}
+			m.NumLocks = n
+		case strings.HasPrefix(ln, "barriers "):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(ln, "barriers ")))
+			if err != nil {
+				return nil, p.errf("bad barriers count: %v", err)
+			}
+			m.NumBars = n
+		case strings.HasPrefix(ln, "global "):
+			if err := p.parseGlobal(m, ln); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(ln, "func "):
+			f, err := p.parseFunc(m, ln)
+			if err != nil {
+				return nil, err
+			}
+			m.Funcs = append(m.Funcs, f)
+		default:
+			return nil, p.errf("unexpected line %q", ln)
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseGlobal(m *Module, ln string) error {
+	rest := strings.TrimPrefix(ln, "global ")
+	var initPart string
+	if i := strings.Index(rest, "="); i >= 0 {
+		initPart = strings.TrimSpace(rest[i+1:])
+		rest = strings.TrimSpace(rest[:i])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return p.errf("global wants 'global <name> <size>', got %q", ln)
+	}
+	size, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return p.errf("bad global size: %v", err)
+	}
+	g := m.AddGlobal(fields[0], size)
+	if initPart != "" {
+		for _, tok := range strings.Split(initPart, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+			if err != nil {
+				return p.errf("bad global initializer: %v", err)
+			}
+			g.Init = append(g.Init, v)
+		}
+	}
+	return nil
+}
+
+// parseFunc parses "func name(r0, r1) regs N {" through the closing "}".
+func (p *parser) parseFunc(m *Module, header string) (*Func, error) {
+	open := strings.Index(header, "(")
+	close := strings.Index(header, ")")
+	if open < 0 || close < open {
+		return nil, p.errf("bad func header %q", header)
+	}
+	f := &Func{Name: strings.TrimSpace(header[len("func "):open]), Module: m}
+	params := strings.TrimSpace(header[open+1 : close])
+	if params != "" {
+		f.NumParams = len(strings.Split(params, ","))
+	}
+	rest := strings.TrimSpace(header[close+1:])
+	rest = strings.TrimSuffix(rest, "{")
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "regs ") {
+		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(rest, "regs ")))
+		if err != nil {
+			return nil, p.errf("bad regs count: %v", err)
+		}
+		f.NumRegs = n
+	} else {
+		f.NumRegs = f.NumParams
+	}
+
+	// Buffer the body so labels can be pre-scanned: blocks must be created
+	// in label order (not first-reference order) for printing to round-trip.
+	var body []string
+	bodyStart := p.pos
+	for {
+		ln := p.next()
+		if ln == "" {
+			return nil, p.errf("unexpected EOF in func %s", f.Name)
+		}
+		if ln == "}" {
+			break
+		}
+		body = append(body, ln)
+	}
+	for _, ln := range body {
+		if strings.HasSuffix(ln, ":") {
+			name := strings.TrimSuffix(ln, ":")
+			if f.Block(name) != nil {
+				return nil, &parseError{line: bodyStart, msg: fmt.Sprintf("duplicate block label %q", name)}
+			}
+			b := &Block{Name: name, Func: f, Index: len(f.Blocks)}
+			f.Blocks = append(f.Blocks, b)
+		}
+	}
+	getBlock := func(name string) *Block {
+		if b := f.Block(name); b != nil {
+			return b
+		}
+		// Terminator target with no label in this function: create it so
+		// verification reports it as an unterminated block.
+		b := &Block{Name: name, Func: f, Index: len(f.Blocks)}
+		f.Blocks = append(f.Blocks, b)
+		return b
+	}
+	var cur *Block
+	maxReg := Reg(f.NumRegs - 1)
+	bump := func(r Reg) {
+		if r > maxReg {
+			maxReg = r
+		}
+	}
+	for _, ln := range body {
+		if strings.HasSuffix(ln, ":") {
+			cur = f.Block(strings.TrimSuffix(ln, ":"))
+			continue
+		}
+		if cur == nil {
+			return nil, p.errf("instruction before first block label: %q", ln)
+		}
+		done, err := p.parseLine(f, cur, ln, getBlock, bump)
+		if err != nil {
+			return nil, err
+		}
+		_ = done
+	}
+	if int(maxReg)+1 > f.NumRegs {
+		f.NumRegs = int(maxReg) + 1
+	}
+	f.reindex()
+	return f, nil
+}
+
+// parseOperand parses "r3" or "-17".
+func (p *parser) parseOperand(tok string) (Operand, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.HasPrefix(tok, "r") {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil {
+			return R(Reg(n)), nil
+		}
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return Operand{}, p.errf("bad operand %q", tok)
+	}
+	return Imm(v), nil
+}
+
+func (p *parser) parseReg(tok string) (Reg, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "r") {
+		return 0, p.errf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil {
+		return 0, p.errf("bad register %q", tok)
+	}
+	return Reg(n), nil
+}
+
+var textOps = map[string]Op{
+	"mov": OpMov, "add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv,
+	"mod": OpMod, "and": OpAnd, "or": OpOr, "xor": OpXor, "shl": OpShl,
+	"shr": OpShr, "neg": OpNeg, "not": OpNot, "eq": OpEQ, "ne": OpNE,
+	"lt": OpLT, "le": OpLE, "gt": OpGT, "ge": OpGE,
+}
+
+// parseLine parses one instruction or terminator line into cur.
+func (p *parser) parseLine(f *Func, cur *Block, ln string, getBlock func(string) *Block, bump func(Reg)) (bool, error) {
+	// Terminators.
+	switch {
+	case strings.HasPrefix(ln, "jmp "):
+		cur.Term = Term{Kind: TermJmp, Succs: []*Block{getBlock(strings.TrimSpace(ln[4:]))}}
+		return true, nil
+	case strings.HasPrefix(ln, "br "):
+		parts := strings.Split(ln[3:], ",")
+		if len(parts) != 3 {
+			return false, p.errf("br wants 'br cond, then, else': %q", ln)
+		}
+		cond, err := p.parseOperand(parts[0])
+		if err != nil {
+			return false, err
+		}
+		cur.Term = Term{Kind: TermBr, Cond: cond, Succs: []*Block{
+			getBlock(strings.TrimSpace(parts[1])),
+			getBlock(strings.TrimSpace(parts[2])),
+		}}
+		return true, nil
+	case strings.HasPrefix(ln, "switch "):
+		return true, p.parseSwitch(cur, ln, getBlock)
+	case strings.HasPrefix(ln, "ret"):
+		rest := strings.TrimSpace(strings.TrimPrefix(ln, "ret"))
+		ret := Imm(0)
+		if rest != "" {
+			var err error
+			ret, err = p.parseOperand(rest)
+			if err != nil {
+				return false, err
+			}
+		}
+		cur.Term = Term{Kind: TermRet, Ret: ret}
+		return true, nil
+	}
+
+	// Non-destination instructions.
+	switch {
+	case strings.HasPrefix(ln, "store "):
+		rest := ln[len("store "):]
+		ob := strings.Index(rest, "[")
+		cb := strings.Index(rest, "]")
+		if ob < 0 || cb < ob {
+			return false, p.errf("store wants 'store sym[idx], val': %q", ln)
+		}
+		sym := strings.TrimSpace(rest[:ob])
+		idx, err := p.parseOperand(rest[ob+1 : cb])
+		if err != nil {
+			return false, err
+		}
+		after := strings.TrimSpace(rest[cb+1:])
+		after = strings.TrimPrefix(after, ",")
+		val, err := p.parseOperand(after)
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpStore, Sym: sym, A: idx, B: val})
+		return false, nil
+	case strings.HasPrefix(ln, "lock "):
+		a, err := p.parseOperand(ln[5:])
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpLock, A: a})
+		return false, nil
+	case strings.HasPrefix(ln, "unlock "):
+		a, err := p.parseOperand(ln[7:])
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpUnlock, A: a})
+		return false, nil
+	case strings.HasPrefix(ln, "barrier "):
+		a, err := p.parseOperand(ln[8:])
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpBarrier, A: a})
+		return false, nil
+	case strings.HasPrefix(ln, "join "):
+		a, err := p.parseOperand(ln[5:])
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpJoin, A: a})
+		return false, nil
+	case strings.HasPrefix(ln, "print "):
+		a, err := p.parseOperand(ln[6:])
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpPrint, A: a})
+		return false, nil
+	case strings.HasPrefix(ln, "clockadd "):
+		return false, p.parseClockAdd(cur, ln[9:])
+	case strings.HasPrefix(ln, "call "):
+		ins, err := p.parseCall(NoReg, ln[5:])
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, ins)
+		return false, nil
+	}
+
+	// Destination instructions: "rN = ...".
+	eq := strings.Index(ln, "=")
+	if eq < 0 {
+		return false, p.errf("unrecognized instruction %q", ln)
+	}
+	dst, err := p.parseReg(ln[:eq])
+	if err != nil {
+		return false, err
+	}
+	bump(dst)
+	rhs := strings.TrimSpace(ln[eq+1:])
+	switch {
+	case strings.HasPrefix(rhs, "const "):
+		v, err := strconv.ParseInt(strings.TrimSpace(rhs[6:]), 10, 64)
+		if err != nil {
+			return false, p.errf("bad const: %v", err)
+		}
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpConst, Dst: dst, A: Imm(v)})
+		return false, nil
+	case rhs == "tid":
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpTid, Dst: dst})
+		return false, nil
+	case rhs == "nthreads":
+		cur.Instrs = append(cur.Instrs, Instr{Op: OpNThreads, Dst: dst})
+		return false, nil
+	case strings.HasPrefix(rhs, "load "):
+		rest := rhs[5:]
+		ob := strings.Index(rest, "[")
+		cb := strings.Index(rest, "]")
+		if ob < 0 || cb < ob {
+			return false, p.errf("load wants 'load sym[idx]': %q", ln)
+		}
+		idx, err := p.parseOperand(rest[ob+1 : cb])
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, Instr{
+			Op: OpLoad, Dst: dst, Sym: strings.TrimSpace(rest[:ob]), A: idx,
+		})
+		return false, nil
+	case strings.HasPrefix(rhs, "call "):
+		ins, err := p.parseCall(dst, rhs[5:])
+		if err != nil {
+			return false, err
+		}
+		cur.Instrs = append(cur.Instrs, ins)
+		return false, nil
+	case strings.HasPrefix(rhs, "spawn "):
+		ins, err := p.parseCall(dst, rhs[6:])
+		if err != nil {
+			return false, err
+		}
+		ins.Op = OpSpawn
+		cur.Instrs = append(cur.Instrs, ins)
+		return false, nil
+	}
+	// Unary/binary mnemonics.
+	sp := strings.Index(rhs, " ")
+	if sp < 0 {
+		return false, p.errf("unrecognized rhs %q", rhs)
+	}
+	op, ok := textOps[rhs[:sp]]
+	if !ok {
+		return false, p.errf("unknown op %q", rhs[:sp])
+	}
+	operands := strings.Split(rhs[sp+1:], ",")
+	a, err := p.parseOperand(operands[0])
+	if err != nil {
+		return false, err
+	}
+	if op.IsUnary() {
+		if len(operands) != 1 {
+			return false, p.errf("%s wants one operand", op)
+		}
+		cur.Instrs = append(cur.Instrs, Instr{Op: op, Dst: dst, A: a})
+		return false, nil
+	}
+	if len(operands) != 2 {
+		return false, p.errf("%s wants two operands", op)
+	}
+	b, err := p.parseOperand(operands[1])
+	if err != nil {
+		return false, err
+	}
+	cur.Instrs = append(cur.Instrs, Instr{Op: op, Dst: dst, A: a, B: b})
+	return false, nil
+}
+
+func (p *parser) parseCall(dst Reg, rest string) (Instr, error) {
+	ob := strings.Index(rest, "(")
+	cb := strings.LastIndex(rest, ")")
+	if ob < 0 || cb < ob {
+		return Instr{}, p.errf("call wants 'call fn(args)': %q", rest)
+	}
+	ins := Instr{Op: OpCall, Dst: dst, Callee: strings.TrimSpace(rest[:ob])}
+	argstr := strings.TrimSpace(rest[ob+1 : cb])
+	if argstr != "" {
+		for _, tok := range strings.Split(argstr, ",") {
+			a, err := p.parseOperand(tok)
+			if err != nil {
+				return Instr{}, err
+			}
+			ins.Args = append(ins.Args, a)
+		}
+	}
+	return ins, nil
+}
+
+// parseClockAdd parses "35" or "35 + 4*r2".
+func (p *parser) parseClockAdd(cur *Block, rest string) error {
+	rest = strings.TrimSpace(rest)
+	ins := Instr{Op: OpClockAdd}
+	if i := strings.Index(rest, "+"); i >= 0 {
+		base, err := strconv.ParseInt(strings.TrimSpace(rest[:i]), 10, 64)
+		if err != nil {
+			return p.errf("bad clockadd base: %v", err)
+		}
+		dyn := strings.TrimSpace(rest[i+1:])
+		star := strings.Index(dyn, "*")
+		if star < 0 {
+			return p.errf("clockadd dynamic term wants 'k*rN': %q", dyn)
+		}
+		scale, err := strconv.ParseInt(strings.TrimSpace(dyn[:star]), 10, 64)
+		if err != nil {
+			return p.errf("bad clockadd scale: %v", err)
+		}
+		b, err := p.parseOperand(dyn[star+1:])
+		if err != nil {
+			return err
+		}
+		ins.A = Imm(base)
+		ins.B = b
+		ins.Scale = scale
+	} else {
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return p.errf("bad clockadd amount: %v", err)
+		}
+		ins.A = Imm(v)
+	}
+	cur.Instrs = append(cur.Instrs, ins)
+	return nil
+}
+
+func (p *parser) parseSwitch(cur *Block, ln string, getBlock func(string) *Block) error {
+	rest := strings.TrimSpace(ln[len("switch "):])
+	ob := strings.Index(rest, "[")
+	cb := strings.Index(rest, "]")
+	if ob < 0 || cb < ob {
+		return p.errf("switch wants 'switch cond, [v: blk, ...], default': %q", ln)
+	}
+	condTok := strings.TrimSuffix(strings.TrimSpace(rest[:ob]), ",")
+	cond, err := p.parseOperand(condTok)
+	if err != nil {
+		return err
+	}
+	t := Term{Kind: TermSwitch, Cond: cond}
+	inner := strings.TrimSpace(rest[ob+1 : cb])
+	if inner != "" {
+		for _, pair := range strings.Split(inner, ",") {
+			kv := strings.Split(pair, ":")
+			if len(kv) != 2 {
+				return p.errf("switch case wants 'v: blk': %q", pair)
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(kv[0]), 10, 64)
+			if err != nil {
+				return p.errf("bad switch case value: %v", err)
+			}
+			t.Cases = append(t.Cases, v)
+			t.Succs = append(t.Succs, getBlock(strings.TrimSpace(kv[1])))
+		}
+	}
+	def := strings.TrimSpace(rest[cb+1:])
+	def = strings.TrimPrefix(def, ",")
+	def = strings.TrimSpace(def)
+	if def == "" {
+		return p.errf("switch missing default target: %q", ln)
+	}
+	t.Succs = append(t.Succs, getBlock(def))
+	cur.Term = t
+	return nil
+}

@@ -1,0 +1,149 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Textual IR format. The printer and parser round-trip: Parse(m.String())
+// reproduces an equivalent module. cmd/detviz uses the printer with clock
+// annotations to reproduce the paper's Figures 3–13.
+
+// String renders the module in the textual format.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	if m.NumLocks > 0 {
+		fmt.Fprintf(&sb, "locks %d\n", m.NumLocks)
+	}
+	if m.NumBars > 0 {
+		fmt.Fprintf(&sb, "barriers %d\n", m.NumBars)
+	}
+	for _, g := range m.Globals {
+		if len(g.Init) == 0 {
+			fmt.Fprintf(&sb, "global %s %d\n", g.Name, g.Size)
+			continue
+		}
+		fmt.Fprintf(&sb, "global %s %d =", g.Name, g.Size)
+		for i, v := range g.Init {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, " %d", v)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, f := range m.Funcs {
+		sb.WriteByte('\n')
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i := 0; i < f.NumParams; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "r%d", i)
+	}
+	fmt.Fprintf(&sb, ") regs %d {\n", f.NumRegs)
+	for _, b := range f.Blocks {
+		sb.WriteString(b.String())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders one block with its clock annotation.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:", b.Name)
+	if b.Clock != 0 {
+		fmt.Fprintf(&sb, "    ; clock=%d", b.Clock)
+	}
+	if b.Unclockable {
+		sb.WriteString("    ; unclockable")
+	}
+	sb.WriteByte('\n')
+	for i := range b.Instrs {
+		fmt.Fprintf(&sb, "  %s\n", b.Instrs[i].String())
+	}
+	fmt.Fprintf(&sb, "  %s\n", b.Term.String())
+	return sb.String()
+}
+
+// String renders one instruction.
+func (ins *Instr) String() string {
+	switch {
+	case ins.Op == OpConst:
+		return fmt.Sprintf("r%d = const %d", ins.Dst, ins.A.Imm)
+	case ins.Op.IsUnary():
+		return fmt.Sprintf("r%d = %s %s", ins.Dst, ins.Op, ins.A)
+	case ins.Op.IsBinary():
+		return fmt.Sprintf("r%d = %s %s, %s", ins.Dst, ins.Op, ins.A, ins.B)
+	case ins.Op == OpLoad:
+		return fmt.Sprintf("r%d = load %s[%s]", ins.Dst, ins.Sym, ins.A)
+	case ins.Op == OpStore:
+		return fmt.Sprintf("store %s[%s], %s", ins.Sym, ins.A, ins.B)
+	case ins.Op == OpCall:
+		var args []string
+		for _, a := range ins.Args {
+			args = append(args, a.String())
+		}
+		call := fmt.Sprintf("call %s(%s)", ins.Callee, strings.Join(args, ", "))
+		if ins.Dst == NoReg {
+			return call
+		}
+		return fmt.Sprintf("r%d = %s", ins.Dst, call)
+	case ins.Op == OpSpawn:
+		var args []string
+		for _, a := range ins.Args {
+			args = append(args, a.String())
+		}
+		return fmt.Sprintf("r%d = spawn %s(%s)", ins.Dst, ins.Callee, strings.Join(args, ", "))
+	case ins.Op == OpJoin:
+		return fmt.Sprintf("join %s", ins.A)
+	case ins.Op == OpLock:
+		return fmt.Sprintf("lock %s", ins.A)
+	case ins.Op == OpUnlock:
+		return fmt.Sprintf("unlock %s", ins.A)
+	case ins.Op == OpBarrier:
+		return fmt.Sprintf("barrier %s", ins.A)
+	case ins.Op == OpTid:
+		return fmt.Sprintf("r%d = tid", ins.Dst)
+	case ins.Op == OpNThreads:
+		return fmt.Sprintf("r%d = nthreads", ins.Dst)
+	case ins.Op == OpPrint:
+		return fmt.Sprintf("print %s", ins.A)
+	case ins.Op == OpClockAdd:
+		if ins.Scale != 0 {
+			return fmt.Sprintf("clockadd %d + %d*%s", ins.A.Imm, ins.Scale, ins.B)
+		}
+		return fmt.Sprintf("clockadd %d", ins.A.Imm)
+	}
+	return fmt.Sprintf("?%s", ins.Op)
+}
+
+// String renders the terminator.
+func (t *Term) String() string {
+	switch t.Kind {
+	case TermJmp:
+		return fmt.Sprintf("jmp %s", t.Succs[0].Name)
+	case TermBr:
+		return fmt.Sprintf("br %s, %s, %s", t.Cond, t.Succs[0].Name, t.Succs[1].Name)
+	case TermSwitch:
+		var cases []string
+		for i, v := range t.Cases {
+			cases = append(cases, fmt.Sprintf("%d: %s", v, t.Succs[i].Name))
+		}
+		return fmt.Sprintf("switch %s, [%s], %s",
+			t.Cond, strings.Join(cases, ", "), t.Succs[len(t.Cases)].Name)
+	case TermRet:
+		return fmt.Sprintf("ret %s", t.Ret)
+	}
+	return "?term"
+}

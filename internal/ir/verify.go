@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural well-formedness of a module: every block has a
+// terminator with targets inside its own function, registers are in range,
+// load/store symbols resolve to globals, call targets resolve to functions or
+// known builtin names, and sync object ids are statically in range when they
+// are immediates.
+//
+// builtinOK reports whether an unresolved callee name is an acceptable
+// builtin (nil means no builtins are allowed).
+func (m *Module) Verify(builtinOK func(name string) bool) error {
+	var errs []error
+	seen := map[string]bool{}
+	for _, f := range m.Funcs {
+		if seen[f.Name] {
+			errs = append(errs, fmt.Errorf("duplicate function %q", f.Name))
+		}
+		seen[f.Name] = true
+		if err := m.verifyFunc(f, builtinOK); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (m *Module) verifyFunc(f *Func, builtinOK func(string) bool) error {
+	var errs []error
+	bad := func(b *Block, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("%s.%s: %s", f.Name, b.Name, fmt.Sprintf(format, args...)))
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: function has no blocks", f.Name)
+	}
+	if f.NumParams > f.NumRegs {
+		errs = append(errs, fmt.Errorf("%s: %d params but only %d regs", f.Name, f.NumParams, f.NumRegs))
+	}
+	inFunc := map[*Block]bool{}
+	names := map[string]bool{}
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+		if names[b.Name] {
+			errs = append(errs, fmt.Errorf("%s: duplicate block name %q", f.Name, b.Name))
+		}
+		names[b.Name] = true
+	}
+	checkOperand := func(b *Block, o Operand) {
+		if !o.IsImm && (o.Reg < 0 || int(o.Reg) >= f.NumRegs) {
+			bad(b, "register %d out of range [0,%d)", o.Reg, f.NumRegs)
+		}
+	}
+	checkReg := func(b *Block, r Reg) {
+		if r == NoReg {
+			return
+		}
+		if r < 0 || int(r) >= f.NumRegs {
+			bad(b, "dst register %d out of range [0,%d)", r, f.NumRegs)
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			ins := &b.Instrs[i]
+			switch {
+			case ins.Op == OpConst:
+				checkReg(b, ins.Dst)
+			case ins.Op.IsUnary():
+				checkReg(b, ins.Dst)
+				checkOperand(b, ins.A)
+			case ins.Op.IsBinary():
+				checkReg(b, ins.Dst)
+				checkOperand(b, ins.A)
+				checkOperand(b, ins.B)
+			case ins.Op == OpLoad:
+				checkReg(b, ins.Dst)
+				checkOperand(b, ins.A)
+				if m.Global(ins.Sym) == nil {
+					bad(b, "load of undefined global %q", ins.Sym)
+				}
+			case ins.Op == OpStore:
+				checkOperand(b, ins.A)
+				checkOperand(b, ins.B)
+				if m.Global(ins.Sym) == nil {
+					bad(b, "store to undefined global %q", ins.Sym)
+				}
+			case ins.Op == OpSpawn:
+				checkReg(b, ins.Dst)
+				for _, a := range ins.Args {
+					checkOperand(b, a)
+				}
+				callee := m.Func(ins.Callee)
+				if callee == nil {
+					bad(b, "spawn of undefined function %q", ins.Callee)
+				} else if len(ins.Args) != callee.NumParams {
+					bad(b, "spawn %s with %d args, wants %d", ins.Callee, len(ins.Args), callee.NumParams)
+				}
+			case ins.Op == OpJoin:
+				checkOperand(b, ins.A)
+			case ins.Op == OpCall:
+				checkReg(b, ins.Dst)
+				for _, a := range ins.Args {
+					checkOperand(b, a)
+				}
+				callee := m.Func(ins.Callee)
+				if callee == nil {
+					if builtinOK == nil || !builtinOK(ins.Callee) {
+						bad(b, "call to undefined function %q", ins.Callee)
+					}
+				} else if len(ins.Args) != callee.NumParams {
+					bad(b, "call %s with %d args, wants %d", ins.Callee, len(ins.Args), callee.NumParams)
+				}
+			case ins.Op == OpLock, ins.Op == OpUnlock:
+				checkOperand(b, ins.A)
+				if ins.A.IsImm && (ins.A.Imm < 0 || ins.A.Imm >= int64(m.NumLocks)) {
+					bad(b, "lock id %d out of range [0,%d)", ins.A.Imm, m.NumLocks)
+				}
+			case ins.Op == OpBarrier:
+				checkOperand(b, ins.A)
+				if ins.A.IsImm && (ins.A.Imm < 0 || ins.A.Imm >= int64(m.NumBars)) {
+					bad(b, "barrier id %d out of range [0,%d)", ins.A.Imm, m.NumBars)
+				}
+			case ins.Op == OpTid, ins.Op == OpNThreads:
+				checkReg(b, ins.Dst)
+			case ins.Op == OpPrint:
+				checkOperand(b, ins.A)
+			case ins.Op == OpClockAdd:
+				if ins.Scale != 0 {
+					checkOperand(b, ins.B)
+				}
+			default:
+				bad(b, "unknown opcode %d", ins.Op)
+			}
+		}
+		switch b.Term.Kind {
+		case TermJmp:
+			if len(b.Term.Succs) != 1 {
+				bad(b, "jmp with %d successors", len(b.Term.Succs))
+			}
+		case TermBr:
+			if len(b.Term.Succs) != 2 {
+				bad(b, "br with %d successors", len(b.Term.Succs))
+			}
+			checkOperand(b, b.Term.Cond)
+		case TermSwitch:
+			if len(b.Term.Succs) != len(b.Term.Cases)+1 {
+				bad(b, "switch with %d succs for %d cases", len(b.Term.Succs), len(b.Term.Cases))
+			}
+			checkOperand(b, b.Term.Cond)
+		case TermRet:
+			if len(b.Term.Succs) != 0 {
+				bad(b, "ret with successors")
+			}
+			checkOperand(b, b.Term.Ret)
+		default:
+			bad(b, "missing terminator")
+		}
+		for _, s := range b.Term.Succs {
+			if !inFunc[s] {
+				bad(b, "successor %q belongs to another function", s.Name)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

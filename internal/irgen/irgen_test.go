@@ -1,0 +1,196 @@
+package irgen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+func TestGenerateVerifies(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		m := Generate(seed, Default())
+		if err := m.Verify(nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.Func("main") == nil {
+			t.Fatalf("seed %d: no main", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, Default()).String()
+	b := Generate(7, Default()).String()
+	if a != b {
+		t.Fatalf("same seed must generate the same program")
+	}
+	c := Generate(8, Default()).String()
+	if a == c {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+func TestGenerateWithSync(t *testing.T) {
+	cfg := Default()
+	cfg.WithSync = true
+	m := Generate(3, cfg)
+	if m.NumLocks == 0 || m.NumBars == 0 {
+		t.Fatalf("sync config should reserve sync objects")
+	}
+}
+
+// run executes m and returns per-thread outputs, memory, and final clocks.
+func run(t *testing.T, m *ir.Module, threads int, policy sim.LockPolicy) ([][]int64, []int64, []int64) {
+	t.Helper()
+	mach, ths, err := interp.NewMachine(interp.Config{Module: m, Threads: threads})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	eng := sim.New(sim.Config{
+		Policy: policy, NumLocks: m.NumLocks, NumBarriers: m.NumBars,
+	}, interp.Programs(ths))
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var outs [][]int64
+	for _, th := range ths {
+		outs = append(outs, append([]int64(nil), th.Output...))
+	}
+	return outs, append([]int64(nil), mach.Global("mem")...), stats.FinalClocks
+}
+
+// TestInstrumentationPreservesSemantics: differential test over random
+// programs — for every preset, the instrumented program computes the same
+// outputs and memory as the uninstrumented one.
+func TestInstrumentationPreservesSemantics(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		ref := Generate(seed, Default())
+		wantOut, wantMem, _ := run(t, ref.Clone(), 2, sim.PolicyFCFS)
+		for _, opt := range core.TableIPresets() {
+			m := ref.Clone()
+			o := opt
+			o.Roots = []string{"main"}
+			if _, err := core.Instrument(m, nil, nil, o); err != nil {
+				t.Fatalf("seed %d: instrument: %v", seed, err)
+			}
+			gotOut, gotMem, _ := run(t, m, 2, sim.PolicyFCFS)
+			for tid := range wantOut {
+				if len(gotOut[tid]) != len(wantOut[tid]) {
+					t.Fatalf("seed %d preset %+v: output length changed", seed, opt)
+				}
+				for i := range wantOut[tid] {
+					if gotOut[tid][i] != wantOut[tid][i] {
+						t.Fatalf("seed %d preset %+v: thread %d output[%d] = %d, want %d",
+							seed, opt, tid, i, gotOut[tid][i], wantOut[tid][i])
+					}
+				}
+			}
+			for i := range wantMem {
+				if gotMem[i] != wantMem[i] {
+					t.Fatalf("seed %d preset %+v: mem[%d] = %d, want %d",
+						seed, opt, i, gotMem[i], wantMem[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPreciseOptsConserveClock: O2a and the base insertion are precise — the
+// accumulated logical clock per thread must be identical with and without
+// O2a (DESIGN.md invariant 5), on random programs.
+func TestPreciseOptsConserveClock(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		ref := Generate(seed, Default())
+		clockOf := func(opt core.Options) []int64 {
+			m := ref.Clone()
+			opt.Roots = []string{"main"}
+			if _, err := core.Instrument(m, nil, nil, opt); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			_, _, clocks := run(t, m, 2, sim.PolicyFCFS)
+			return clocks
+		}
+		base := clockOf(core.Options{})
+		o2a := clockOf(core.Options{O2a: true})
+		for tid := range base {
+			if base[tid] != o2a[tid] {
+				t.Fatalf("seed %d: O2a changed thread %d clock: %d -> %d",
+					seed, tid, base[tid], o2a[tid])
+			}
+		}
+	}
+}
+
+// TestLossyOptsBoundedDivergence: with all optimizations, the accumulated
+// clock may diverge from the baseline, but only within a modest fraction
+// (O1/O3 admission allows range <= mean/2.5; O2b allows 1/10 per triangle;
+// O4 misses the final header test). A 50% band is a loose sanity bound that
+// catches catastrophic bugs like averaging across loops.
+func TestLossyOptsBoundedDivergence(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		ref := Generate(seed, Default())
+		clockOf := func(opt core.Options) []int64 {
+			m := ref.Clone()
+			opt.Roots = []string{"main"}
+			if _, err := core.Instrument(m, nil, nil, opt); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			_, _, clocks := run(t, m, 2, sim.PolicyFCFS)
+			return clocks
+		}
+		base := clockOf(core.Options{})
+		all := clockOf(core.OptAll)
+		for tid := range base {
+			lo, hi := base[tid]/2, base[tid]*3/2
+			if all[tid] < lo || all[tid] > hi {
+				t.Fatalf("seed %d: all-opts clock %d outside [%d, %d] of baseline %d",
+					seed, all[tid], lo, hi, base[tid])
+			}
+		}
+	}
+}
+
+// TestSyncProgramsDeterministic: random programs with locks produce
+// identical schedules across repeated deterministic runs.
+func TestSyncProgramsDeterministic(t *testing.T) {
+	cfg := Default()
+	cfg.WithSync = true
+	for seed := uint64(1); seed <= 10; seed++ {
+		ref := Generate(seed, cfg)
+		traceOf := func() []sim.Acquisition {
+			m := ref.Clone()
+			opt := core.OptAll
+			opt.Roots = []string{"main"}
+			if _, err := core.Instrument(m, nil, nil, opt); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			_, ths, err := interp.NewMachine(interp.Config{Module: m, Threads: 4})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			eng := sim.New(sim.Config{
+				Policy: sim.PolicyDet, NumLocks: m.NumLocks,
+				NumBarriers: m.NumBars, RecordTrace: true,
+			}, interp.Programs(ths))
+			stats, err := eng.Run()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return stats.Trace
+		}
+		a := traceOf()
+		b := traceOf()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: schedule lengths differ", seed)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: schedule diverges at %d", seed, i)
+			}
+		}
+	}
+}

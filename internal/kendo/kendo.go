@@ -1,0 +1,105 @@
+// Package kendo configures the simulated Kendo baseline of Table II.
+//
+// Kendo (Olszewski et al., ASPLOS 2009) derives its logical clocks from a
+// deterministic hardware performance counter of retired stores, published to
+// other threads only when the counter overflows — every "chunk" — at the
+// cost of an interrupt. The paper compares DetLock against it (§V-C) and
+// notes that Kendo's chunk size had to be tuned manually per benchmark: a
+// small chunk keeps published clocks fresh but pays frequent interrupts; a
+// large chunk is cheap but leaves waiters staring at stale clocks.
+//
+// In this reproduction the counter counts *weighted retired instructions*
+// rather than stores (the synthetic workloads are load/ALU-heavy, so a
+// store counter would barely advance; the instruction counter is the same
+// deterministic-progress signal at a usable density — see DESIGN.md). At a
+// synchronization operation the thread reads its counter exactly and
+// publishes its true clock, per Kendo's design; in between, other threads
+// see the last overflow value.
+package kendo
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// Config is one Kendo baseline configuration.
+type Config struct {
+	// ChunkSize is the counter overflow period in weighted instruction units.
+	ChunkSize int64
+	// InterruptCost is the cycle cost of each overflow interrupt.
+	InterruptCost int64
+}
+
+// DefaultChunks is the tuning sweep used to reproduce the paper's manual
+// per-benchmark chunk selection.
+var DefaultChunks = []int64{100, 250, 1000, 4000, 16000, 64000}
+
+// DefaultInterruptCost models a lean overflow handler.
+const DefaultInterruptCost = 40
+
+// Result is the outcome of one Kendo run.
+type Result struct {
+	Config     Config
+	Makespan   int64
+	WaitCycles int64
+	Interrupts int64
+}
+
+// Run executes the (uninstrumented) module deterministically under the
+// simulated Kendo counter.
+func Run(m *ir.Module, threads int, entry string, cfg Config) (*Result, error) {
+	if cfg.InterruptCost == 0 {
+		cfg.InterruptCost = DefaultInterruptCost
+	}
+	mach, ths, err := interp.NewMachine(interp.Config{
+		Module:             m.Clone(),
+		Threads:            threads,
+		Entry:              entry,
+		Mode:               interp.ModeKendo,
+		KendoChunkSize:     cfg.ChunkSize,
+		KendoInterruptCost: cfg.InterruptCost,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kendo: %w", err)
+	}
+	eng := sim.New(sim.Config{
+		Policy:      sim.PolicyDet,
+		NumLocks:    m.NumLocks,
+		NumBarriers: m.NumBars,
+	}, interp.Programs(ths))
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("kendo: %w", err)
+	}
+	return &Result{
+		Config:     cfg,
+		Makespan:   stats.Makespan,
+		WaitCycles: stats.WaitCycles,
+		Interrupts: mach.Interrupts,
+	}, nil
+}
+
+// Tune sweeps chunk sizes and returns the best (lowest-makespan) result plus
+// the whole sweep — the paper's "the authors of Kendo had to manually adjust
+// the chunk size to get the best performance" (§V-C), automated.
+func Tune(m *ir.Module, threads int, entry string, chunks []int64) (*Result, []*Result, error) {
+	if len(chunks) == 0 {
+		chunks = DefaultChunks
+	}
+	var best *Result
+	var sweep []*Result
+	for _, c := range chunks {
+		r, err := Run(m, threads, entry, Config{ChunkSize: c})
+		if err != nil {
+			return nil, nil, err
+		}
+		sweep = append(sweep, r)
+		if best == nil || r.Makespan < best.Makespan {
+			best = r
+		}
+	}
+	return best, sweep, nil
+}

@@ -1,0 +1,80 @@
+package kendo
+
+import (
+	"testing"
+
+	"repro/internal/splash"
+)
+
+func TestRunTakesInterrupts(t *testing.T) {
+	b, err := splash.New("water-nsq", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(b.Module, 2, b.Entry, Config{ChunkSize: 500})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Interrupts == 0 {
+		t.Fatalf("chunked counter should overflow")
+	}
+	if r.Makespan <= 0 {
+		t.Fatalf("makespan = %d", r.Makespan)
+	}
+}
+
+func TestInterruptCostTradeoff(t *testing.T) {
+	b, err := splash.New("water-nsq", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Run(b.Module, 2, b.Entry, Config{ChunkSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(b.Module, 2, b.Entry, Config{ChunkSize: 64000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Interrupts <= large.Interrupts {
+		t.Fatalf("smaller chunks must take more interrupts: %d vs %d",
+			small.Interrupts, large.Interrupts)
+	}
+}
+
+func TestTunePicksSweepMinimum(t *testing.T) {
+	b, err := splash.New("radiosity", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, sweep, err := Tune(b.Module, 2, b.Entry, []int64{250, 4000})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if len(sweep) != 2 {
+		t.Fatalf("sweep = %d entries", len(sweep))
+	}
+	for _, r := range sweep {
+		if r.Makespan < best.Makespan {
+			t.Fatalf("Tune missed a better chunk: %d < %d", r.Makespan, best.Makespan)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	b, err := splash.New("volrend", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(b.Module, 2, b.Entry, Config{ChunkSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(b.Module, 2, b.Entry, Config{ChunkSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != c.Makespan || a.Interrupts != c.Interrupts {
+		t.Fatalf("kendo runs not reproducible: %+v vs %+v", a, c)
+	}
+}

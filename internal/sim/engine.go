@@ -1,0 +1,523 @@
+// Package sim is a deterministic discrete-event simulator of N hardware
+// threads. It produces the cycle counts behind the paper's evaluation:
+// physical time advances by the cost model's per-instruction cycles (clock
+// updates included), and deterministic execution's extra cost appears as the
+// cycles threads spend waiting for other threads' logical clocks to pass
+// them — exactly the quantity the paper's Table I and Figure 14/15 measure.
+//
+// The engine is sequential and fully deterministic: it always steps the
+// runnable thread with the smallest (physical time, id), so identical
+// programs produce identical cycle counts and identical lock-acquisition
+// traces on every run.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// StepKind tags what a program thread produced when stepped.
+type StepKind uint8
+
+// Step kinds yielded by Program implementations.
+const (
+	// StepAdvance: the thread executed instructions (Cycles) and possibly
+	// published a logical-clock increment (ClockDelta) at the END of the
+	// span — programs yield at every clock-update point, so publication
+	// times are exact.
+	StepAdvance StepKind = iota
+	// StepLock: the thread wants lock Obj. Cycles covers work before the op.
+	StepLock
+	// StepUnlock: the thread releases lock Obj.
+	StepUnlock
+	// StepBarrier: the thread arrives at barrier Obj.
+	StepBarrier
+	// StepDone: the thread finished.
+	StepDone
+	// StepSpawn: the thread creates a new thread; NewProg builds its
+	// Program given the engine-assigned id, and *SpawnDst (when non-nil)
+	// receives that id as the spawn handle.
+	StepSpawn
+	// StepJoin: the thread waits for thread Obj to finish.
+	StepJoin
+)
+
+// Step is one yield from a simulated thread.
+type Step struct {
+	Kind       StepKind
+	Cycles     int64 // physical cycles consumed by this span
+	ClockDelta int64 // logical clock increment published at span end
+	Obj        int   // lock/barrier id for sync steps; target thread for join
+
+	// NewProg builds the spawned thread's program from its assigned id
+	// (StepSpawn only).
+	NewProg func(id int) Program
+	// SpawnDst, when non-nil, receives the spawned thread's id.
+	SpawnDst *int64
+}
+
+// Program is a steppable simulated thread (implemented by package interp).
+// Step is called only while the thread is runnable.
+type Program interface {
+	Step() (Step, error)
+}
+
+// LockPolicy selects how contended locks are granted.
+type LockPolicy uint8
+
+// Lock policies.
+const (
+	// PolicyFCFS grants in request order (plain pthread-like mutex);
+	// deterministic inside the simulator, used for baseline runs.
+	PolicyFCFS LockPolicy = iota
+	// PolicyDet implements Kendo's rule: an acquire decision happens only
+	// when the requester's (logical clock, id) is minimal among non-excluded
+	// threads; waiters queue with frozen clocks and resume at
+	// max(frozen, releaser's clock)+1.
+	PolicyDet
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Policy LockPolicy
+	// NumLocks / NumBarriers size the sync object tables.
+	NumLocks    int
+	NumBarriers int
+	// LockCost, UnlockCost, BarrierCost are uncontended base cycle costs.
+	LockCost    int64
+	UnlockCost  int64
+	BarrierCost int64
+	// BarrierParticipants is the arrival count that releases a barrier
+	// (normally the thread count).
+	BarrierParticipants int
+	// MaxSteps bounds total engine steps (runaway guard); 0 means default.
+	MaxSteps int64
+	// RecordTrace enables the acquisition trace (lock id, thread, clock).
+	RecordTrace bool
+}
+
+// Acquisition is one lock grant, for determinism checking.
+type Acquisition struct {
+	Lock   int
+	Thread int
+	Clock  int64 // logical clock right after the grant (0 under FCFS)
+	Phys   int64 // physical grant time
+}
+
+// Stats aggregates a finished run.
+type Stats struct {
+	// Makespan is the maximum per-thread finish time: the run's wall clock.
+	Makespan int64
+	// PerThreadCycles is each thread's finish time.
+	PerThreadCycles []int64
+	// WaitCycles is the total cycles threads spent blocked or spinning on
+	// sync (the deterministic-execution overhead plus contention).
+	WaitCycles int64
+	// Acquisitions counts lock grants.
+	Acquisitions int64
+	// BarrierEpisodes counts completed barrier releases.
+	BarrierEpisodes int64
+	// Steps counts engine iterations.
+	Steps int64
+	// Trace holds the acquisition sequence when Config.RecordTrace is set.
+	Trace []Acquisition
+	// FinalClocks is each thread's logical clock at completion — the total
+	// accumulated clock, used by conservation tests (precise optimizations
+	// must not change it).
+	FinalClocks []int64
+}
+
+// thread run states.
+type tstatus uint8
+
+const (
+	tsRunnable tstatus = iota
+	tsAcquiring
+	tsBlocked // queued on a held lock: excluded, frozen clock
+	tsBarrier // arrived at a barrier: excluded
+	tsJoining // waiting for another thread to finish: excluded
+	tsDone
+)
+
+type tstate struct {
+	id     int
+	prog   Program
+	status tstatus
+	phys   int64
+	clock  int64
+
+	wantLock int   // lock id while acquiring/blocked
+	readyAt  int64 // phys time at which the pending grant decision matured
+	waitFrom int64 // phys time the thread began waiting (for WaitCycles)
+}
+
+type lockState struct {
+	held    bool
+	holder  int
+	waiters []int // blocked thread ids in deterministic enqueue order
+}
+
+type barState struct {
+	arrived []int
+}
+
+// Engine runs a set of Programs to completion under a Config.
+type Engine struct {
+	cfg      Config
+	threads  []*tstate
+	locks    []lockState
+	barriers []barState
+	stats    Stats
+}
+
+// ErrDeadlock is wrapped by Run when no thread can make progress.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// ErrStepLimit is wrapped by Run when MaxSteps is exceeded.
+var ErrStepLimit = errors.New("sim: step limit exceeded")
+
+// New creates an engine over the given per-thread programs.
+func New(cfg Config, progs []Program) *Engine {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 500_000_000
+	}
+	if cfg.BarrierParticipants == 0 {
+		cfg.BarrierParticipants = len(progs)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		locks:    make([]lockState, cfg.NumLocks),
+		barriers: make([]barState, cfg.NumBarriers),
+	}
+	for i, p := range progs {
+		e.threads = append(e.threads, &tstate{id: i, prog: p})
+	}
+	e.stats.PerThreadCycles = make([]int64, len(progs))
+	e.stats.FinalClocks = make([]int64, len(progs))
+	return e
+}
+
+// Run executes the simulation to completion and returns the statistics.
+func (e *Engine) Run() (*Stats, error) {
+	for {
+		t := e.pickRunnable()
+		if t == nil {
+			if e.allDone() {
+				break
+			}
+			return nil, fmt.Errorf("%w: %s", ErrDeadlock, e.describeStuck())
+		}
+		e.stats.Steps++
+		if e.stats.Steps > e.cfg.MaxSteps {
+			return nil, fmt.Errorf("%w (%d)", ErrStepLimit, e.cfg.MaxSteps)
+		}
+		st, err := t.prog.Step()
+		if err != nil {
+			return nil, fmt.Errorf("sim: thread %d: %w", t.id, err)
+		}
+		t.phys += st.Cycles
+		// ClockDelta applies on every step kind: sync steps publish the
+		// thread's precise clock before the operation (Kendo reads its
+		// counter exactly at synchronization points).
+		t.clock += st.ClockDelta
+		switch st.Kind {
+		case StepAdvance:
+		case StepLock:
+			t.status = tsAcquiring
+			t.wantLock = st.Obj
+			t.readyAt = t.phys
+			t.waitFrom = t.phys
+		case StepUnlock:
+			e.unlock(t, st.Obj)
+		case StepBarrier:
+			e.barrierArrive(t, st.Obj)
+		case StepDone:
+			t.status = tsDone
+			e.stats.PerThreadCycles[t.id] = t.phys
+			e.stats.FinalClocks[t.id] = t.clock
+			if t.phys > e.stats.Makespan {
+				e.stats.Makespan = t.phys
+			}
+			e.settleJoiners(t)
+		case StepSpawn:
+			e.spawn(t, st)
+		case StepJoin:
+			e.join(t, st.Obj)
+		}
+		// Any step can change clocks or exclusion; settle pending acquires.
+		e.settleAcquirers(t.phys)
+	}
+	return &e.stats, nil
+}
+
+// pickRunnable returns the runnable thread with minimal (phys, id), nil when
+// none are runnable.
+func (e *Engine) pickRunnable() *tstate {
+	var best *tstate
+	for _, t := range e.threads {
+		if t.status != tsRunnable {
+			continue
+		}
+		if best == nil || t.phys < best.phys || (t.phys == best.phys && t.id < best.id) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (e *Engine) allDone() bool {
+	for _, t := range e.threads {
+		if t.status != tsDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) describeStuck() string {
+	var s string
+	for _, t := range e.threads {
+		if t.status != tsDone {
+			s += fmt.Sprintf("[thread %d status=%d clock=%d phys=%d lock=%d] ",
+				t.id, t.status, t.clock, t.phys, t.wantLock)
+		}
+	}
+	return s
+}
+
+// excludedFromTurn mirrors package det: blocked lock waiters, barrier
+// arrivals and finished threads do not participate in the turn predicate.
+func (t *tstate) excludedFromTurn() bool {
+	switch t.status {
+	case tsBlocked, tsBarrier, tsJoining, tsDone:
+		return true
+	}
+	return false
+}
+
+// hasTurn reports whether a's (clock, id) is minimal among non-excluded
+// threads (Kendo's wait_for_turn).
+func (e *Engine) hasTurn(a *tstate) bool {
+	for _, o := range e.threads {
+		if o == a || o.excludedFromTurn() {
+			continue
+		}
+		if o.clock < a.clock || (o.clock == a.clock && o.id < a.id) {
+			return false
+		}
+	}
+	return true
+}
+
+// settleAcquirers resolves pending lock requests. Under FCFS a request
+// resolves immediately; under the deterministic policy a request resolves
+// when its thread gains the turn — the grant's physical time is the later of
+// the request time and the step that made the turn condition true (now).
+func (e *Engine) settleAcquirers(now int64) {
+	for progress := true; progress; {
+		progress = false
+		for _, a := range e.acquirersInOrder() {
+			l := &e.locks[a.wantLock]
+			switch e.cfg.Policy {
+			case PolicyFCFS:
+				if !l.held {
+					e.grant(a, maxI64(a.phys, a.readyAt))
+				} else {
+					a.status = tsBlocked
+					l.waiters = append(l.waiters, a.id)
+				}
+				progress = true
+			case PolicyDet:
+				if !e.hasTurn(a) {
+					continue
+				}
+				if !l.held {
+					// Kendo: tick after acquisition.
+					a.clock++
+					e.grant(a, maxI64(a.phys, now))
+				} else {
+					a.status = tsBlocked
+					l.waiters = append(l.waiters, a.id)
+				}
+				progress = true
+			}
+		}
+	}
+}
+
+// acquirersInOrder returns acquiring threads ordered by (clock, id) so
+// settlement decisions are deterministic and respect the turn order.
+func (e *Engine) acquirersInOrder() []*tstate {
+	var out []*tstate
+	for _, t := range e.threads {
+		if t.status == tsAcquiring {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].clock != out[j].clock {
+			return out[i].clock < out[j].clock
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// grant completes a lock acquisition at physical time at.
+func (e *Engine) grant(t *tstate, at int64) {
+	l := &e.locks[t.wantLock]
+	l.held = true
+	l.holder = t.id
+	waited := at - t.waitFrom
+	if waited > 0 {
+		e.stats.WaitCycles += waited
+	}
+	t.phys = at + e.cfg.LockCost
+	t.status = tsRunnable
+	e.stats.Acquisitions++
+	if e.cfg.RecordTrace {
+		e.stats.Trace = append(e.stats.Trace, Acquisition{
+			Lock: t.wantLock, Thread: t.id, Clock: t.clock, Phys: t.phys,
+		})
+	}
+}
+
+// unlock releases a lock and hands it to the first queued waiter, if any.
+func (e *Engine) unlock(t *tstate, obj int) {
+	l := &e.locks[obj]
+	if !l.held || l.holder != t.id {
+		panic(fmt.Sprintf("sim: thread %d unlocks lock %d it does not hold", t.id, obj))
+	}
+	t.phys += e.cfg.UnlockCost
+	if e.cfg.Policy == PolicyDet {
+		t.clock++
+	}
+	if len(l.waiters) == 0 {
+		l.held = false
+		l.holder = -1
+		return
+	}
+	wid := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	w := e.threads[wid]
+	if e.cfg.Policy == PolicyDet {
+		// Kendo semantics: the waiter's clock was paused while blocked and
+		// resumes where it froze, ticking once for the acquisition. Keeping
+		// the frozen clock (rather than jumping to the releaser's) is what
+		// makes high-lock-frequency programs pay the paper's deterministic
+		// round-robin cost: other threads must wait for the slow clock to
+		// catch up before their own acquisitions.
+		w.clock++
+	}
+	l.holder = wid
+	waited := t.phys - w.waitFrom
+	if waited > 0 {
+		e.stats.WaitCycles += waited
+	}
+	w.phys = maxI64(w.phys, t.phys) + e.cfg.LockCost
+	w.status = tsRunnable
+	e.stats.Acquisitions++
+	if e.cfg.RecordTrace {
+		e.stats.Trace = append(e.stats.Trace, Acquisition{
+			Lock: obj, Thread: wid, Clock: w.clock, Phys: w.phys,
+		})
+	}
+}
+
+// barrierArrive handles a barrier arrival, releasing everyone on the last.
+func (e *Engine) barrierArrive(t *tstate, obj int) {
+	b := &e.barriers[obj]
+	t.status = tsBarrier
+	t.waitFrom = t.phys
+	b.arrived = append(b.arrived, t.id)
+	if len(b.arrived) < e.cfg.BarrierParticipants {
+		return
+	}
+	var maxPhys, maxClock int64
+	for _, id := range b.arrived {
+		w := e.threads[id]
+		if w.phys > maxPhys {
+			maxPhys = w.phys
+		}
+		if w.clock > maxClock {
+			maxClock = w.clock
+		}
+	}
+	release := maxPhys + e.cfg.BarrierCost
+	for _, id := range b.arrived {
+		w := e.threads[id]
+		if waited := release - w.phys; waited > 0 {
+			e.stats.WaitCycles += waited
+		}
+		w.phys = release
+		if e.cfg.Policy == PolicyDet {
+			w.clock = maxClock + 1
+		}
+		w.status = tsRunnable
+	}
+	b.arrived = nil
+	e.stats.BarrierEpisodes++
+}
+
+// spawn creates a new thread at the parent's physical time. The id is the
+// next index — assigned at a deterministic engine point, so handles are
+// reproducible. Under the deterministic policy the child starts at the
+// parent's clock + 1 and the parent ticks, mirroring package det.
+func (e *Engine) spawn(parent *tstate, st Step) {
+	id := len(e.threads)
+	child := &tstate{id: id, prog: st.NewProg(id), phys: parent.phys}
+	if e.cfg.Policy == PolicyDet {
+		child.clock = parent.clock + 1
+		parent.clock++
+	}
+	e.threads = append(e.threads, child)
+	e.stats.PerThreadCycles = append(e.stats.PerThreadCycles, 0)
+	e.stats.FinalClocks = append(e.stats.FinalClocks, 0)
+	if st.SpawnDst != nil {
+		*st.SpawnDst = int64(id)
+	}
+}
+
+// join blocks t until thread target finishes; invalid targets panic (a
+// program bug, like unlocking an unheld mutex).
+func (e *Engine) join(t *tstate, target int) {
+	if target < 0 || target >= len(e.threads) || target == t.id {
+		panic(fmt.Sprintf("sim: thread %d joins invalid thread %d", t.id, target))
+	}
+	tgt := e.threads[target]
+	if tgt.status == tsDone {
+		t.phys = maxI64(t.phys, tgt.phys)
+		if e.cfg.Policy == PolicyDet {
+			t.clock = maxI64(t.clock, tgt.clock) + 1
+		}
+		return
+	}
+	t.status = tsJoining
+	t.wantLock = target
+	t.waitFrom = t.phys
+}
+
+// settleJoiners resumes joiners whose target just finished.
+func (e *Engine) settleJoiners(done *tstate) {
+	for _, t := range e.threads {
+		if t.status != tsJoining || t.wantLock != done.id {
+			continue
+		}
+		if waited := done.phys - t.phys; waited > 0 {
+			e.stats.WaitCycles += waited
+		}
+		t.phys = maxI64(t.phys, done.phys)
+		if e.cfg.Policy == PolicyDet {
+			t.clock = maxI64(t.clock, done.clock) + 1
+		}
+		t.status = tsRunnable
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package splash
+
+import "repro/internal/ir"
+
+// Ocean models SPLASH-2 Ocean: grid relaxation sweeps with large straight-
+// line compute blocks, a barrier after every sweep, and a single reduction
+// lock per sweep per thread. Lock frequency is negligible and compute blocks
+// are big, so clock-insertion overhead is ~0 — the paper's Table I shows
+// 1% unoptimized and 0% with all optimizations.
+func Ocean(threads int) *Benchmark {
+	const (
+		gridDim = 32 // grid is gridDim x gridDim
+		sweeps  = 3
+		// padWork sizes the per-point compute block; big blocks amortize the
+		// one clock update each block carries.
+		padWork = 220
+	)
+	mb := ir.NewModule("ocean")
+	mb.Global("grid", gridDim*gridDim)
+	mb.Global("next", gridDim*gridDim)
+	mb.Global("err", 8)
+	mb.Locks(1)
+	mb.Barriers(1)
+
+	// Ocean's 7 clockable helpers (Table I row 3): small setup kernels
+	// invoked once per sweep.
+	helpers := addClockableLeaves(mb, "ocean_init", 7, 6)
+
+	fb := mb.Func("main")
+	tid := fb.Reg("tid")
+	n := fb.Reg("n")
+	sweep := fb.Reg("sweep")
+	row := fb.Reg("row")
+	col := fb.Reg("col")
+	idx := fb.Reg("idx")
+	acc := fb.Reg("acc")
+	tmp := fb.Reg("tmp")
+	c := fb.Reg("c")
+
+	eb := fb.Block("entry")
+	eb.Tid(tid).NThreads(n).Const(sweep, 0)
+	eb.Jmp("sweep.cond")
+
+	sc := fb.Block("sweep.cond")
+	sc.Bin(ir.OpLT, c, ir.R(sweep), ir.Imm(sweeps))
+	sc.Br(ir.R(c), "sweep.body", "done")
+
+	sb := fb.Block("sweep.body")
+	// Per-sweep setup through the clockable helpers.
+	for _, h := range helpers {
+		sb.Call(tmp, h, ir.R(sweep))
+	}
+	// Interior rows only: row 0 and gridDim-1 are boundary.
+	sb.Bin(ir.OpAdd, row, ir.R(tid), ir.Imm(1))
+	sb.Jmp("row.cond")
+
+	rc := fb.Block("row.cond")
+	rc.Bin(ir.OpLT, c, ir.R(row), ir.Imm(gridDim-1))
+	rc.Br(ir.R(c), "row.body", "row.done")
+
+	rb := fb.Block("row.body")
+	rb.Const(col, 1)
+	rb.Jmp("col.cond")
+
+	cc := fb.Block("col.cond")
+	cc.Bin(ir.OpLT, c, ir.R(col), ir.Imm(gridDim-1))
+	cc.Br(ir.R(c), "col.body", "col.done")
+
+	cb := fb.Block("col.body")
+	// Five-point stencil with heavy local arithmetic: one big block.
+	cb.Bin(ir.OpMul, idx, ir.R(row), ir.Imm(gridDim))
+	cb.Bin(ir.OpAdd, idx, ir.R(idx), ir.R(col))
+	cb.Load(acc, "grid", ir.R(idx))
+	cb.Bin(ir.OpSub, tmp, ir.R(idx), ir.Imm(1))
+	cb.Load(tmp, "grid", ir.R(tmp))
+	cb.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(tmp))
+	cb.Bin(ir.OpAdd, tmp, ir.R(idx), ir.Imm(1))
+	cb.Load(tmp, "grid", ir.R(tmp))
+	cb.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(tmp))
+	cb.Bin(ir.OpSub, tmp, ir.R(idx), ir.Imm(gridDim))
+	cb.Load(tmp, "grid", ir.R(tmp))
+	cb.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(tmp))
+	cb.Bin(ir.OpAdd, tmp, ir.R(idx), ir.Imm(gridDim))
+	cb.Load(tmp, "grid", ir.R(tmp))
+	cb.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(tmp))
+	cb.Bin(ir.OpDiv, acc, ir.R(acc), ir.Imm(5))
+	padBlock(cb, tmp, padWork)
+	cb.Store("next", ir.R(idx), ir.R(acc))
+	cb.Bin(ir.OpAdd, col, ir.R(col), ir.Imm(1))
+	cb.Jmp("col.cond")
+
+	cd := fb.Block("col.done")
+	cd.Bin(ir.OpAdd, row, ir.R(row), ir.R(n))
+	cd.Jmp("row.cond")
+
+	rd := fb.Block("row.done")
+	// Reduction: one lock per sweep per thread.
+	rd.Lock(ir.Imm(0))
+	rd.Load(tmp, "err", ir.Imm(0))
+	rd.Bin(ir.OpAdd, tmp, ir.R(tmp), ir.R(acc))
+	rd.Store("err", ir.Imm(0), ir.R(tmp))
+	rd.Unlock(ir.Imm(0))
+	rd.Barrier(ir.Imm(0))
+	rd.Bin(ir.OpAdd, sweep, ir.R(sweep), ir.Imm(1))
+	rd.Jmp("sweep.cond")
+
+	fb.Block("done").Ret(ir.R(acc))
+
+	return &Benchmark{
+		Name:             "ocean",
+		Module:           mb.M,
+		Threads:          threads,
+		Entry:            "main",
+		PaperLocksPerSec: 343,
+		PaperClockable:   7,
+		PaperClockOverheadPct: map[string]float64{
+			"none": 1, "O1": 0, "O2": 0, "O3": 0, "O4": 0, "all": 0,
+		},
+		PaperDetOverheadPct: map[string]float64{
+			"none": 1, "O1": 1, "O2": 1, "O3": 0, "O4": 0, "all": 0,
+		},
+		PaperKendoOverheadPct: 1,
+		PaperKendoLocksPerSec: 279,
+	}
+}

@@ -1,0 +1,140 @@
+package splash
+
+import "repro/internal/ir"
+
+// Radiosity models SPLASH-2 Radiosity: a work queue popped at a very high
+// lock rate, where each task runs a compute kernel built from clockable
+// functions (the paper's worked example, `intersection_type`, comes from
+// this benchmark) plus a tight element loop.
+//
+// Two properties the paper highlights must emerge:
+//   - the highest lock frequency of the suite (Table I: 2.2M locks/sec) —
+//     deterministic-execution overhead is dominated by threads waiting for
+//     each other's clocks at the queue lock;
+//   - Optimization 1's ahead-of-time charging cuts that waiting far more
+//     than an equal reduction in update count from Optimization 2 (§V-B,
+//     Figure 15), because a whole kernel's clock is published before it
+//     executes.
+func Radiosity(threads int) *Benchmark {
+	const (
+		numTasks  = 1000
+		numLeaves = 13 // outer kernels; with 2 inners each: 39 clockable
+		elemIters = 10 // tight element loop per task
+	)
+	mb := ir.NewModule("radiosity")
+	mb.Global("taskq", 8)
+	mb.Global("elems", 4096)
+	mb.Global("result", 64)
+	mb.Locks(2) // 0: task queue, 1: result accumulation
+	mb.Barriers(1)
+
+	// The compute kernels: diamond-chain leaves in the image of Figure 3,
+	// with strongly varying sizes so tasks spread the threads' clocks apart
+	// — the imbalance deterministic execution pays for at the queue lock.
+	leaves := addTwoLevelKernels(mb, "intersection_type", numLeaves, 4, 10, 8)
+
+	fb := mb.Func("main")
+	tid := fb.Reg("tid")
+	task := fb.Reg("task")
+	tmp := fb.Reg("tmp")
+	ok := fb.Reg("ok")
+	e := fb.Reg("e")
+	v := fb.Reg("v")
+	acc := fb.Reg("acc")
+	c := fb.Reg("c")
+	sel := fb.Reg("sel")
+
+	eb := fb.Block("entry")
+	eb.Tid(tid)
+	eb.Const(acc, 0)
+	eb.Jmp("pop")
+
+	pb := fb.Block("pop")
+	buildTaskQueuePop(pb, 0, "taskq", task, tmp, ok, 1, numTasks)
+	pb.Br(ir.R(ok), "task.body", "done")
+
+	// Kernel dispatch comes FIRST in the task: under Optimization 1 the
+	// kernel's whole clock is published essentially at the pop, so threads
+	// waiting for this thread's clock at the queue lock are released before
+	// the kernel executes — the ahead-of-time effect of §V-B. (With the
+	// kernel buried later in the task, the waiters' crossing points land in
+	// the gradually-clocked element loop and O1 cannot shorten the waits.)
+	tb := fb.Block("task.body")
+	tb.Bin(ir.OpMod, sel, ir.R(task), ir.Imm(int64(numLeaves)))
+	cases := make([]int64, numLeaves)
+	targets := make([]string, numLeaves)
+	for i := range cases {
+		cases[i] = int64(i)
+		targets[i] = "disp." + leaves[i]
+	}
+	tb.Switch(ir.R(sel), cases, targets, "disp.default")
+	for i, leaf := range leaves {
+		db := fb.Block(targets[i])
+		db.Call(v, leaf, ir.R(task))
+		db.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(v))
+		db.Jmp("elem.init")
+	}
+	fb.Block("disp.default").Jmp("elem.init")
+
+	ei := fb.Block("elem.init")
+	ei.Const(e, 0)
+	ei.Jmp("elem.hdr")
+
+	// Tight element loop: the non-clockable overhead source (like Water's
+	// inner loop, Optimizations 2/4 are what reduce it).
+	eh := fb.Block("elem.hdr")
+	eh.Bin(ir.OpAnd, tmp, ir.R(e), ir.Imm(4095))
+	eh.Bin(ir.OpLT, c, ir.R(e), ir.Imm(elemIters))
+	eh.Br(ir.R(c), "elem.body", "elem.done")
+
+	ebd := fb.Block("elem.body")
+	ebd.Bin(ir.OpAdd, tmp, ir.R(tmp), ir.R(task))
+	ebd.Bin(ir.OpAnd, tmp, ir.R(tmp), ir.Imm(4095))
+	ebd.Load(v, "elems", ir.R(tmp))
+	ebd.Bin(ir.OpAnd, c, ir.R(v), ir.Imm(1))
+	ebd.Br(ir.R(c), "elem.hit", "elem.miss")
+
+	hit := fb.Block("elem.hit")
+	hit.Bin(ir.OpMul, v, ir.R(v), ir.Imm(3))
+	hit.Bin(ir.OpMul, v, ir.R(v), ir.R(v))
+	hit.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(v))
+	hit.Jmp("elem.latch")
+
+	miss := fb.Block("elem.miss")
+	miss.Bin(ir.OpAdd, acc, ir.R(acc), ir.Imm(1))
+	miss.Jmp("elem.latch")
+
+	lb := fb.Block("elem.latch")
+	lb.Bin(ir.OpAdd, e, ir.R(e), ir.Imm(1))
+	lb.Jmp("elem.hdr")
+
+	ed := fb.Block("elem.done")
+	ed.Jmp("pop")
+
+	dn := fb.Block("done")
+	dn.Lock(ir.Imm(1))
+	dn.Bin(ir.OpAnd, tmp, ir.R(tid), ir.Imm(63))
+	dn.Load(v, "result", ir.R(tmp))
+	dn.Bin(ir.OpAdd, v, ir.R(v), ir.R(acc))
+	dn.Store("result", ir.R(tmp), ir.R(v))
+	dn.Unlock(ir.Imm(1))
+	dn.Barrier(ir.Imm(0))
+	dn.Ret(ir.R(acc))
+
+	return &Benchmark{
+		Name:             "radiosity",
+		Module:           mb.M,
+		Threads:          threads,
+		Entry:            "main",
+		PaperLocksPerSec: 2211621,
+		PaperClockable:   39,
+		PaperClockOverheadPct: map[string]float64{
+			"none": 41, "O1": 30, "O2": 30, "O3": 36, "O4": 36, "all": 13,
+		},
+		PaperDetOverheadPct: map[string]float64{
+			"none": 72, "O1": 43, "O2": 57, "O3": 63, "O4": 69, "all": 38,
+		},
+		PaperKendoOverheadPct: 53,
+		PaperKendoLocksPerSec: 939771,
+	}
+}

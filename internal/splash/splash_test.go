@@ -1,0 +1,193 @@
+package splash
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimates"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+func TestAllBenchmarksVerify(t *testing.T) {
+	est := estimates.DefaultTable()
+	for _, b := range All(4) {
+		if err := b.Module.Verify(est.Has); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestNamesAndNew(t *testing.T) {
+	for _, n := range Names() {
+		b, err := New(n, 4)
+		if err != nil {
+			t.Fatalf("New(%s): %v", n, err)
+		}
+		if b.Name != n || b.Threads != 4 || b.Entry != "main" {
+			t.Fatalf("benchmark meta = %+v", b)
+		}
+	}
+	if _, err := New("nosuch", 4); err == nil {
+		t.Fatalf("unknown benchmark should error")
+	}
+}
+
+// TestClockableCounts pins the Table I "Clockable Functions" row.
+func TestClockableCounts(t *testing.T) {
+	want := map[string]int{
+		"ocean": 7, "raytrace": 33, "water-nsq": 7, "radiosity": 39, "volrend": 35,
+	}
+	for _, b := range All(4) {
+		m := b.Module.Clone()
+		res, err := core.Instrument(m, nil, nil, core.Options{O1: true, Roots: []string{b.Entry}})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if got := len(res.Clockable); got != want[b.Name] {
+			t.Errorf("%s: clockable = %d, want %d (paper %d)",
+				b.Name, got, want[b.Name], b.PaperClockable)
+		}
+	}
+}
+
+// runBench simulates one benchmark configuration to completion.
+func runBench(t *testing.T, b *Benchmark, opt *core.Options, policy sim.LockPolicy) *sim.Stats {
+	t.Helper()
+	m := b.Module.Clone()
+	if opt != nil {
+		o := *opt
+		o.Roots = []string{b.Entry}
+		if _, err := core.Instrument(m, nil, nil, o); err != nil {
+			t.Fatalf("%s: instrument: %v", b.Name, err)
+		}
+	}
+	_, ths, err := interp.NewMachine(interp.Config{
+		Module: m, Threads: b.Threads, Entry: b.Entry,
+	})
+	if err != nil {
+		t.Fatalf("%s: machine: %v", b.Name, err)
+	}
+	eng := sim.New(sim.Config{
+		Policy: policy, NumLocks: m.NumLocks, NumBarriers: m.NumBars, RecordTrace: true,
+	}, interp.Programs(ths))
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatalf("%s: run: %v", b.Name, err)
+	}
+	return stats
+}
+
+func TestBenchmarksCompleteUnderAllConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep in -short mode")
+	}
+	all := core.OptAll
+	for _, b := range All(4) {
+		base := runBench(t, b, nil, sim.PolicyFCFS)
+		if base.Acquisitions == 0 {
+			t.Errorf("%s: no lock acquisitions", b.Name)
+		}
+		det := runBench(t, b, &all, sim.PolicyDet)
+		if det.Makespan < base.Makespan {
+			t.Errorf("%s: deterministic run faster than baseline (%d < %d)",
+				b.Name, det.Makespan, base.Makespan)
+		}
+		if det.Acquisitions != base.Acquisitions {
+			t.Errorf("%s: acquisition counts differ: %d vs %d",
+				b.Name, det.Acquisitions, base.Acquisitions)
+		}
+	}
+}
+
+func TestBenchmarkDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep in -short mode")
+	}
+	all := core.OptAll
+	for _, name := range []string{"radiosity", "water-nsq"} {
+		b1, _ := New(name, 4)
+		s1 := runBench(t, b1, &all, sim.PolicyDet)
+		b2, _ := New(name, 4)
+		s2 := runBench(t, b2, &all, sim.PolicyDet)
+		if len(s1.Trace) != len(s2.Trace) {
+			t.Fatalf("%s: trace lengths differ", name)
+		}
+		for i := range s1.Trace {
+			if s1.Trace[i] != s2.Trace[i] {
+				t.Fatalf("%s: trace diverges at %d: %+v vs %+v",
+					name, i, s1.Trace[i], s2.Trace[i])
+			}
+		}
+	}
+}
+
+// TestLockRateOrdering pins the paper's lock-frequency ordering across the
+// suite: ocean ≪ raytrace/water < volrend ≪ radiosity.
+func TestLockRateOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep in -short mode")
+	}
+	rate := map[string]float64{}
+	for _, b := range All(4) {
+		stats := runBench(t, b, nil, sim.PolicyFCFS)
+		rate[b.Name] = float64(stats.Acquisitions) / float64(stats.Makespan)
+	}
+	if !(rate["ocean"] < rate["raytrace"] && rate["ocean"] < rate["water-nsq"]) {
+		t.Errorf("ocean should have the lowest lock rate: %v", rate)
+	}
+	if !(rate["radiosity"] > rate["volrend"] && rate["volrend"] > rate["raytrace"]) {
+		t.Errorf("radiosity > volrend > raytrace expected: %v", rate)
+	}
+}
+
+func TestKernelGenerators(t *testing.T) {
+	mb := ir.NewModule("k")
+	name := addDiamondChainLeaf(mb, "leaf", 3, 2, 5, 4)
+	skip := addSkipChainLeaf(mb, "skip", 6, 2, 5, 0)
+	two := addTwoLevelKernels(mb, "two", 2, 3, 5, 4)
+	if mb.M.Func(name) == nil || mb.M.Func(skip) == nil {
+		t.Fatalf("kernels not defined")
+	}
+	if len(two) != 2 || mb.M.Func(two[0]+"_ia") == nil {
+		t.Fatalf("two-level kernels incomplete: %v", two)
+	}
+	if mb.M.Global("kscratch") == nil {
+		t.Fatalf("load-bearing kernels need the kscratch global")
+	}
+	if err := mb.M.Verify(nil); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// All three generators must produce O1-clockable functions.
+	mm := mb.M
+	main := ir.NewModule("")
+	_ = main
+	fb := mbMain(mm)
+	_ = fb
+	res, err := core.Instrument(mm, nil, nil, core.Options{O1: true, Roots: []string{"main"}})
+	if err != nil {
+		t.Fatalf("Instrument: %v", err)
+	}
+	for _, want := range []string{"leaf", "skip", "two_0", "two_0_ia", "two_1_ib"} {
+		if _, ok := res.Clockable[want]; !ok {
+			t.Errorf("%s should be clockable; got %v", want, res.ClockableNames())
+		}
+	}
+}
+
+// mbMain appends a main that calls every function once (so clockability has
+// call sites and the verifier sees a root).
+func mbMain(m *ir.Module) *ir.Func {
+	mb := &ir.ModuleBuilder{M: m}
+	fb := mb.Func("main")
+	r := fb.Reg("r")
+	bb := fb.Block("entry")
+	for _, f := range m.Funcs {
+		if f.Name != "main" && f.NumParams == 1 {
+			bb.Call(r, f.Name, ir.Imm(7))
+		}
+	}
+	bb.Ret(ir.R(r))
+	return fb.F
+}

@@ -1,0 +1,146 @@
+package splash
+
+import "repro/internal/ir"
+
+// Volrend models SPLASH-2 Volrend: ray casting over a volume with
+// conditional octree-style traversal, pixels claimed from a task counter at
+// a fairly high rate (443k locks/sec in the paper), compute in mid-sized
+// conditional blocks plus a family of 35 clockable shading/transfer
+// helpers.
+func Volrend(threads int) *Benchmark {
+	const (
+		numTasks   = 310
+		pixelsPer  = 8
+		numLeaves  = 35
+		stepsPerPx = 5
+	)
+	mb := ir.NewModule("volrend")
+	mb.Global("taskq", 8)
+	mb.Global("volume", 4096)
+	mb.Global("image", 4096)
+	mb.Locks(2)
+	mb.Barriers(1)
+
+	leaves := addDiamondChainFamily(mb, "shade", numLeaves, 1, 10, 90, 0)
+
+	fb := mb.Func("main")
+	tid := fb.Reg("tid")
+	task := fb.Reg("task")
+	px := fb.Reg("px")
+	step := fb.Reg("step")
+	tmp := fb.Reg("tmp")
+	ok := fb.Reg("ok")
+	v := fb.Reg("v")
+	acc := fb.Reg("acc")
+	sel := fb.Reg("sel")
+	c := fb.Reg("c")
+
+	eb := fb.Block("entry")
+	eb.Tid(tid)
+	eb.Const(acc, 0)
+	eb.Jmp("pop")
+
+	pb := fb.Block("pop")
+	buildTaskQueuePop(pb, 0, "taskq", task, tmp, ok, 1, numTasks)
+	pb.Br(ir.R(ok), "task.init", "done")
+
+	ti := fb.Block("task.init")
+	ti.Const(px, 0)
+	ti.Jmp("px.hdr")
+
+	ph := fb.Block("px.hdr")
+	ph.Bin(ir.OpLT, c, ir.R(px), ir.Imm(pixelsPer))
+	ph.Br(ir.R(c), "px.body", "pop")
+
+	pxb := fb.Block("px.body")
+	pxb.Bin(ir.OpMul, v, ir.R(task), ir.Imm(pixelsPer))
+	pxb.Bin(ir.OpAdd, v, ir.R(v), ir.R(px))
+	pxb.Const(step, 0)
+	pxb.Jmp("step.hdr")
+
+	sh := fb.Block("step.hdr")
+	sh.Bin(ir.OpLT, c, ir.R(step), ir.Imm(stepsPerPx))
+	sh.Br(ir.R(c), "step.body", "step.done")
+
+	// Octree-ish descent: a conditional ladder with mid-sized blocks.
+	sb := fb.Block("step.body")
+	sb.Bin(ir.OpMul, tmp, ir.R(v), ir.Imm(13))
+	sb.Bin(ir.OpAdd, tmp, ir.R(tmp), ir.R(step))
+	sb.Bin(ir.OpAnd, tmp, ir.R(tmp), ir.Imm(4095))
+	sb.Load(tmp, "volume", ir.R(tmp))
+	padBlock(sb, v, 20)
+	sb.Bin(ir.OpAnd, c, ir.R(tmp), ir.Imm(3))
+	sb.Switch(ir.R(c), []int64{0, 1, 2}, []string{"oct.empty", "oct.leaf", "oct.mixed"}, "oct.deep")
+
+	oe := fb.Block("oct.empty")
+	padBlock(oe, acc, 18)
+	oe.Jmp("step.latch")
+
+	olf := fb.Block("oct.leaf")
+	padBlock(olf, acc, 30)
+	olf.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(tmp))
+	olf.Jmp("step.latch")
+
+	om := fb.Block("oct.mixed")
+	padBlock(om, acc, 42)
+	om.Bin(ir.OpXor, acc, ir.R(acc), ir.R(tmp))
+	om.Jmp("step.latch")
+
+	od := fb.Block("oct.deep")
+	padBlock(od, acc, 54)
+	od.Jmp("step.latch")
+
+	sl := fb.Block("step.latch")
+	sl.Bin(ir.OpAdd, step, ir.R(step), ir.Imm(1))
+	sl.Jmp("step.hdr")
+
+	// Shading through a clockable helper, then store the pixel.
+	sd := fb.Block("step.done")
+	sd.Bin(ir.OpMod, sel, ir.R(v), ir.Imm(int64(numLeaves)))
+	cases := make([]int64, numLeaves)
+	targets := make([]string, numLeaves)
+	for i := range cases {
+		cases[i] = int64(i)
+		targets[i] = "sh." + leaves[i]
+	}
+	sd.Switch(ir.R(sel), cases, targets, "sh.none")
+	for i, leaf := range leaves {
+		db := fb.Block(targets[i])
+		db.Call(tmp, leaf, ir.R(v))
+		db.Bin(ir.OpAdd, acc, ir.R(acc), ir.R(tmp))
+		db.Jmp("px.store")
+	}
+	fb.Block("sh.none").Jmp("px.store")
+
+	ps := fb.Block("px.store")
+	ps.Bin(ir.OpAnd, tmp, ir.R(v), ir.Imm(4095))
+	ps.Store("image", ir.R(tmp), ir.R(acc))
+	ps.Bin(ir.OpAdd, px, ir.R(px), ir.Imm(1))
+	ps.Jmp("px.hdr")
+
+	dn := fb.Block("done")
+	dn.Lock(ir.Imm(1))
+	dn.Load(tmp, "image", ir.Imm(0))
+	dn.Bin(ir.OpAdd, tmp, ir.R(tmp), ir.R(acc))
+	dn.Store("image", ir.Imm(0), ir.R(tmp))
+	dn.Unlock(ir.Imm(1))
+	dn.Barrier(ir.Imm(0))
+	dn.Ret(ir.R(acc))
+
+	return &Benchmark{
+		Name:             "volrend",
+		Module:           mb.M,
+		Threads:          threads,
+		Entry:            "main",
+		PaperLocksPerSec: 443070,
+		PaperClockable:   35,
+		PaperClockOverheadPct: map[string]float64{
+			"none": 8, "O1": 8, "O2": 4, "O3": 8, "O4": 8, "all": 3,
+		},
+		PaperDetOverheadPct: map[string]float64{
+			"none": 8, "O1": 8, "O2": 4, "O3": 8, "O4": 8, "all": 4,
+		},
+		PaperKendoOverheadPct: 7,
+		PaperKendoLocksPerSec: 79612,
+	}
+}

@@ -1,0 +1,121 @@
+package splash
+
+import "repro/internal/ir"
+
+// WaterNSQ models SPLASH-2 Water-nsquared: the dominant cost is a very tight
+// inner force loop whose body contains an `if` (the cutoff test), exactly
+// the structure §V-C blames for DetLock's worst overhead: clock updates per
+// tiny block. The two `if` arms jump straight back to the loop header, so
+// Optimization 4 can merge their updates into the header, and Optimization 2
+// hoists the min arm into the branch block — the paper's two effective
+// optimizations for this benchmark (43% → ~21%).
+//
+// The arm costs differ enough that Optimization 3's averaging criteria
+// reject the region, matching the paper's observation that O3 does not help
+// Water-nsq.
+func WaterNSQ(threads int) *Benchmark {
+	const (
+		moleculesPerThread = 28
+		innerIters         = 1024
+		numMolLocks        = 16
+	)
+	mb := ir.NewModule("water-nsq")
+	mb.Global("pos", 4096)
+	mb.Global("force", 4096)
+	mb.Locks(numMolLocks)
+	mb.Barriers(1)
+
+	// Water's 7 clockable helpers: per-molecule setup kernels.
+	helpers := addClockableLeaves(mb, "water_setup", 7, 5)
+
+	fb := mb.Func("main")
+	tid := fb.Reg("tid")
+	n := fb.Reg("n")
+	mol := fb.Reg("mol")
+	j := fb.Reg("j")
+	d := fb.Reg("d")
+	f := fb.Reg("f")
+	idx := fb.Reg("idx")
+	tmp := fb.Reg("tmp")
+	c := fb.Reg("c")
+
+	eb := fb.Block("entry")
+	eb.Tid(tid).NThreads(n).Const(mol, 0)
+	eb.Jmp("mol.cond")
+
+	mc := fb.Block("mol.cond")
+	mc.Bin(ir.OpLT, c, ir.R(mol), ir.Imm(moleculesPerThread))
+	mc.Br(ir.R(c), "mol.body", "done")
+
+	mbk := fb.Block("mol.body")
+	for _, h := range helpers {
+		mbk.Call(tmp, h, ir.R(mol))
+	}
+	mbk.Bin(ir.OpMul, idx, ir.R(tid), ir.Imm(997))
+	mbk.Bin(ir.OpAdd, idx, ir.R(idx), ir.R(mol))
+	mbk.Const(j, 0)
+	mbk.Const(f, 0)
+	mbk.Jmp("inner.hdr")
+
+	// Inner loop, shaped like the paper's Figure 10 triangle: the header
+	// tests the (rarely true) cutoff condition and branches either to the
+	// expensive if.then arm or straight to for.inc; if.then falls into
+	// for.inc; for.inc increments, tests the bound and jumps back. Both
+	// Optimization 2b (the triangle shift — precise here, since if.then has
+	// a single successor) and Optimization 4 (for.inc is the small back-edge
+	// source) can merge for.inc's update away, matching the paper's Water
+	// rows where O2 and O4 each roughly halve the overhead and O1/O3 do
+	// nothing. The header is the loop header (a merge), so Optimization 3
+	// cannot average the region.
+	ih := fb.Block("inner.hdr")
+	ih.Bin(ir.OpXor, d, ir.R(idx), ir.R(j))
+	ih.Bin(ir.OpAdd, d, ir.R(d), ir.R(f))
+	ih.Bin(ir.OpAnd, tmp, ir.R(d), ir.Imm(63))
+	ih.Bin(ir.OpAnd, c, ir.R(d), ir.Imm(7))
+	ih.Bin(ir.OpEQ, c, ir.R(c), ir.Imm(0))
+	ih.Br(ir.R(c), "inside", "inner.latch")
+
+	// Cutoff hit (1 in 8): the expensive arm, falling through to for.inc.
+	in := fb.Block("inside")
+	in.Bin(ir.OpMul, d, ir.R(d), ir.R(d))
+	in.Bin(ir.OpMul, tmp, ir.R(d), ir.Imm(3))
+	in.Bin(ir.OpAdd, f, ir.R(f), ir.R(tmp))
+	in.Jmp("inner.latch")
+
+	// for.inc: small back-edge source carrying the bound test.
+	il := fb.Block("inner.latch")
+	il.Bin(ir.OpAdd, j, ir.R(j), ir.Imm(1))
+	il.Bin(ir.OpLT, c, ir.R(j), ir.Imm(innerIters))
+	il.Br(ir.R(c), "inner.hdr", "inner.done")
+
+	id := fb.Block("inner.done")
+	// One per-molecule lock to accumulate forces (moderate lock rate).
+	id.Bin(ir.OpMod, tmp, ir.R(mol), ir.Imm(numMolLocks))
+	id.Lock(ir.R(tmp))
+	id.Bin(ir.OpMod, idx, ir.R(idx), ir.Imm(4096))
+	id.Load(d, "force", ir.R(idx))
+	id.Bin(ir.OpAdd, d, ir.R(d), ir.R(f))
+	id.Store("force", ir.R(idx), ir.R(d))
+	id.Unlock(ir.R(tmp))
+	id.Bin(ir.OpAdd, mol, ir.R(mol), ir.Imm(1))
+	id.Jmp("mol.cond")
+
+	fb.Block("done").Barrier(ir.Imm(0)).Ret(ir.R(f))
+
+	return &Benchmark{
+		Name:             "water-nsq",
+		Module:           mb.M,
+		Threads:          threads,
+		Entry:            "main",
+		PaperLocksPerSec: 126034,
+		PaperClockable:   7,
+		PaperClockOverheadPct: map[string]float64{
+			"none": 43, "O1": 43, "O2": 23, "O3": 43, "O4": 21, "all": 20,
+		},
+		PaperDetOverheadPct: map[string]float64{
+			"none": 44, "O1": 44, "O2": 23, "O3": 44, "O4": 21, "all": 21,
+		},
+		PaperKendoOverheadPct: 7,
+		PaperKendoLocksPerSec: 143202,
+	}
+}

@@ -1,0 +1,155 @@
+// Package trace records and compares synchronization schedules: the
+// evidence for weak determinism. A schedule is the global sequence of lock
+// acquisitions (lock id, thread id, logical clock); two runs of the same
+// program are *weakly deterministic* exactly when their schedules are
+// identical (§I–II of the paper).
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Event is one synchronization event in a schedule.
+type Event struct {
+	Seq    int64 // global sequence number
+	Lock   int   // lock identity
+	Thread int   // acquiring thread
+	Clock  int64 // logical clock right after the acquisition
+}
+
+// Schedule is an ordered list of synchronization events.
+type Schedule struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty schedule.
+func New() *Schedule { return &Schedule{} }
+
+// Record appends an event; safe for concurrent use (the det runtime calls it
+// under its global event lock, the simulator single-threaded).
+func (s *Schedule) Record(lock, thread int, clock int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, Event{
+		Seq: int64(len(s.events)), Lock: lock, Thread: thread, Clock: clock,
+	})
+}
+
+// Len returns the number of recorded events.
+func (s *Schedule) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Events returns a copy of the recorded events.
+func (s *Schedule) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Hash returns a 64-bit FNV-1a digest of the schedule; equal schedules have
+// equal hashes, and a hash mismatch is proof of divergence.
+func (s *Schedule) Hash() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, e := range s.events {
+		put(int64(e.Lock))
+		put(int64(e.Thread))
+		put(e.Clock)
+	}
+	return h.Sum64()
+}
+
+// Divergence describes the first point where two schedules differ.
+type Divergence struct {
+	Index    int
+	A, B     *Event // nil when one schedule is a prefix of the other
+	ALen     int
+	BLen     int
+	Verdict  string
+	Diverged bool
+}
+
+// String formats the divergence report.
+func (d *Divergence) String() string {
+	if !d.Diverged {
+		return fmt.Sprintf("schedules identical (%d events)", d.ALen)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedules diverge at event %d: ", d.Index)
+	if d.A == nil || d.B == nil {
+		fmt.Fprintf(&sb, "length mismatch (%d vs %d events)", d.ALen, d.BLen)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "run A: lock %d by thread %d at clock %d; run B: lock %d by thread %d at clock %d",
+		d.A.Lock, d.A.Thread, d.A.Clock, d.B.Lock, d.B.Thread, d.B.Clock)
+	return sb.String()
+}
+
+// Compare locates the first difference between two schedules.
+func Compare(a, b *Schedule) *Divergence {
+	ea, eb := a.Events(), b.Events()
+	d := &Divergence{ALen: len(ea), BLen: len(eb)}
+	n := len(ea)
+	if len(eb) < n {
+		n = len(eb)
+	}
+	for i := 0; i < n; i++ {
+		if ea[i].Lock != eb[i].Lock || ea[i].Thread != eb[i].Thread || ea[i].Clock != eb[i].Clock {
+			d.Diverged = true
+			d.Index = i
+			d.A = &ea[i]
+			d.B = &eb[i]
+			d.Verdict = "event mismatch"
+			return d
+		}
+	}
+	if len(ea) != len(eb) {
+		d.Diverged = true
+		d.Index = n
+		d.Verdict = "length mismatch"
+		return d
+	}
+	d.Verdict = "identical"
+	return d
+}
+
+// FromSim converts a simulator acquisition trace to a Schedule.
+func FromSim(acqs []sim.Acquisition) *Schedule {
+	s := New()
+	for _, a := range acqs {
+		s.Record(a.Lock, a.Thread, a.Clock)
+	}
+	return s
+}
+
+// CheckRuns verifies that every schedule in runs is identical to the first,
+// returning nil on success or a descriptive error naming the diverging run.
+func CheckRuns(runs []*Schedule) error {
+	if len(runs) < 2 {
+		return nil
+	}
+	ref := runs[0]
+	for i, r := range runs[1:] {
+		if d := Compare(ref, r); d.Diverged {
+			return fmt.Errorf("trace: run %d diverges from run 0: %s", i+1, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func build(events [][3]int64) *Schedule {
+	s := New()
+	for _, e := range events {
+		s.Record(int(e[0]), int(e[1]), e[2])
+	}
+	return s
+}
+
+func TestRecordAndLen(t *testing.T) {
+	s := build([][3]int64{{0, 1, 10}, {1, 2, 20}})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	ev := s.Events()
+	if ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Fatalf("sequence numbers wrong: %+v", ev)
+	}
+	if ev[1].Lock != 1 || ev[1].Thread != 2 || ev[1].Clock != 20 {
+		t.Fatalf("event = %+v", ev[1])
+	}
+}
+
+func TestHashEquality(t *testing.T) {
+	a := build([][3]int64{{0, 1, 10}, {1, 2, 20}})
+	b := build([][3]int64{{0, 1, 10}, {1, 2, 20}})
+	if a.Hash() != b.Hash() {
+		t.Fatalf("equal schedules must hash equal")
+	}
+	c := build([][3]int64{{0, 1, 10}, {1, 2, 21}})
+	if a.Hash() == c.Hash() {
+		t.Fatalf("different schedules should hash differently")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := build([][3]int64{{0, 1, 10}})
+	b := build([][3]int64{{0, 1, 10}})
+	d := Compare(a, b)
+	if d.Diverged {
+		t.Fatalf("divergence on identical schedules: %s", d)
+	}
+	if !strings.Contains(d.String(), "identical") {
+		t.Fatalf("string = %q", d)
+	}
+}
+
+func TestCompareEventMismatch(t *testing.T) {
+	a := build([][3]int64{{0, 1, 10}, {0, 2, 20}})
+	b := build([][3]int64{{0, 1, 10}, {0, 3, 20}})
+	d := Compare(a, b)
+	if !d.Diverged || d.Index != 1 {
+		t.Fatalf("divergence = %+v", d)
+	}
+	if !strings.Contains(d.String(), "thread 2") || !strings.Contains(d.String(), "thread 3") {
+		t.Fatalf("string = %q", d)
+	}
+}
+
+func TestCompareLengthMismatch(t *testing.T) {
+	a := build([][3]int64{{0, 1, 10}})
+	b := build([][3]int64{{0, 1, 10}, {0, 2, 20}})
+	d := Compare(a, b)
+	if !d.Diverged || d.Verdict != "length mismatch" {
+		t.Fatalf("divergence = %+v", d)
+	}
+	if !strings.Contains(d.String(), "length mismatch") {
+		t.Fatalf("string = %q", d)
+	}
+}
+
+func TestFromSim(t *testing.T) {
+	s := FromSim([]sim.Acquisition{
+		{Lock: 3, Thread: 1, Clock: 42},
+		{Lock: 0, Thread: 2, Clock: 50},
+	})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Events()[0].Lock != 3 {
+		t.Fatalf("events = %+v", s.Events())
+	}
+}
+
+func TestCheckRuns(t *testing.T) {
+	a := build([][3]int64{{0, 1, 10}})
+	b := build([][3]int64{{0, 1, 10}})
+	if err := CheckRuns([]*Schedule{a, b}); err != nil {
+		t.Fatalf("CheckRuns: %v", err)
+	}
+	c := build([][3]int64{{0, 2, 10}})
+	err := CheckRuns([]*Schedule{a, b, c})
+	if err == nil || !strings.Contains(err.Error(), "run 2") {
+		t.Fatalf("err = %v, want run 2 divergence", err)
+	}
+	if err := CheckRuns(nil); err != nil {
+		t.Fatalf("empty runs: %v", err)
+	}
+}
+
+// Property: Compare agrees with Hash (divergence <=> hashes differ, modulo
+// the astronomically unlikely collision, which the generator can't hit).
+func TestCompareHashConsistency(t *testing.T) {
+	f := func(evs []uint8, mutate bool, at uint8) bool {
+		if len(evs) == 0 {
+			return true
+		}
+		var raw [][3]int64
+		for i, e := range evs {
+			raw = append(raw, [3]int64{int64(e % 4), int64(e % 3), int64(i)})
+		}
+		a := build(raw)
+		rawB := append([][3]int64{}, raw...)
+		if mutate {
+			i := int(at) % len(rawB)
+			rawB[i] = [3]int64{rawB[i][0], rawB[i][1] + 1, rawB[i][2]}
+		}
+		b := build(rawB)
+		d := Compare(a, b)
+		if mutate {
+			return d.Diverged && a.Hash() != b.Hash()
+		}
+		return !d.Diverged && a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
