@@ -1,0 +1,24 @@
+GO ?= go
+TIMEOUT ?= 10m
+
+.PHONY: check build vet test race bench
+
+# check is what CI runs: build, vet, full test suite under the race detector.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -timeout $(TIMEOUT) ./...
+
+race:
+	$(GO) test -race -timeout $(TIMEOUT) ./...
+
+# bench runs the robustness bench guard: watchdog-disabled lock throughput
+# must stay within noise of the plain runtime.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkDetRuntimeWatchdog -benchtime 1x .

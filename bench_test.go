@@ -175,6 +175,33 @@ func BenchmarkDetRuntime(b *testing.B) {
 	}
 }
 
+// BenchmarkDetRuntimeWatchdog is the robustness-layer bench guard: with the
+// watchdog disabled (the default) lock throughput must stay within noise of
+// the plain runtime — the monitor adds no hot-path state — and the "on" case
+// bounds the cost of arming it.
+func BenchmarkDetRuntimeWatchdog(b *testing.B) {
+	const threads, iters = 4, 200
+	run := func(b *testing.B, arm bool) {
+		for i := 0; i < b.N; i++ {
+			rt := detlock.New(threads)
+			if arm {
+				rt.EnableWatchdog(nil)
+			}
+			mu := rt.NewMutex()
+			rt.Run(func(t *detlock.Thread) {
+				for k := 0; k < iters; k++ {
+					t.Tick(int64(7 + t.ID()))
+					mu.Lock(t)
+					mu.Unlock(t)
+				}
+			})
+		}
+		b.ReportMetric(float64(threads*iters)/float64(b.Elapsed().Seconds())/float64(b.N), "locks/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 const benchProgram = `
 module bench
 locks 2

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/det"
+	"repro/internal/diag"
 	"repro/internal/estimates"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -73,6 +74,66 @@ type Allocator = det.Allocator
 
 // New creates a deterministic runtime with n threads.
 func New(n int) *Runtime { return det.New(n) }
+
+// Failure modes & diagnostics.
+//
+// The runtime never hangs: every stuck state terminates with a structured
+// report. Runtime.Run returns nil on a clean run, or a typed error:
+//
+//   - *DeadlockError when every live thread is blocked — it names the exact
+//     wait-for cycle and carries a per-thread snapshot (id, frozen clock,
+//     blocked-on resource, last acquisition). Because blocking events are
+//     turn-gated, the report is identical on every run.
+//   - *WatchdogError when the optional progress watchdog (EnableWatchdog on
+//     the runtime; off by default, zero overhead when disabled) sees no
+//     clock advance within its bound — the livelocks a wait-for graph
+//     cannot see.
+//   - *ThreadPanicError when user code panics: the thread is torn out of
+//     the turn predicate deterministically and survivors keep running (or
+//     reach the deadlock detector, if the dead thread held locks they
+//     need). API misuse (unlock of an unheld mutex, cross-runtime object
+//     use, self-join) panics with a *MisuseError, classified by the Err*
+//     sentinels.
+//
+// Classify with errors.Is (ErrDeadlock, ErrStalled, ...), extract with
+// errors.As, and render with FormatFailure. Simulate returns the same
+// *DeadlockError for stuck IR programs.
+
+// DeadlockError reports that every live thread is blocked, with the wait-for
+// cycle and a deterministic per-thread snapshot.
+type DeadlockError = diag.DeadlockError
+
+// WatchdogError reports a livelock detected by the progress watchdog.
+type WatchdogError = diag.WatchdogError
+
+// ThreadPanicError reports a user panic contained by the runtime.
+type ThreadPanicError = diag.ThreadPanicError
+
+// MisuseError reports an API contract violation with thread context.
+type MisuseError = diag.MisuseError
+
+// ThreadSnapshot is one thread's state inside a failure report.
+type ThreadSnapshot = diag.ThreadSnapshot
+
+// WaitEdge is one wait-for edge (thread → resource → holder).
+type WaitEdge = diag.WaitEdge
+
+// WatchdogConfig tunes Runtime.EnableWatchdog.
+type WatchdogConfig = det.WatchdogConfig
+
+// Failure classification sentinels for errors.Is.
+var (
+	ErrDeadlock     = diag.ErrDeadlock
+	ErrStalled      = diag.ErrStalled
+	ErrCrossRuntime = diag.ErrCrossRuntime
+	ErrNotHeld      = diag.ErrNotHeld
+	ErrSelfJoin     = diag.ErrSelfJoin
+	ErrBadJoin      = diag.ErrBadJoin
+)
+
+// FormatFailure renders a runtime failure error (deadlock, stall, panic,
+// misuse) as a full human-readable report; other errors render as Error().
+func FormatFailure(err error) string { return trace.FormatFailure(err) }
 
 // Module is a program in the reproduction's compiler IR.
 type Module = ir.Module

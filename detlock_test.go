@@ -1,6 +1,8 @@
 package detlock_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	detlock "repro"
@@ -148,5 +150,45 @@ func TestRuntimeFacade(t *testing.T) {
 	}
 	if order[0] != 2 || order[1] != 1 || order[2] != 0 {
 		t.Fatalf("acquisition order = %v, want [2 1 0] (by clock)", order)
+	}
+}
+
+// TestFailureFacade exercises the robustness API through the public package:
+// an ABBA deadlock returns a typed, renderable report, classified by the
+// exported sentinels and type aliases.
+func TestFailureFacade(t *testing.T) {
+	rt := detlock.New(2)
+	a := rt.NewMutex()
+	b := rt.NewMutex()
+	err := rt.Run(func(th *detlock.Thread) {
+		if th.ID() == 0 {
+			th.Tick(10)
+			a.Lock(th)
+			th.Tick(10)
+			b.Lock(th)
+			b.Unlock(th)
+			a.Unlock(th)
+		} else {
+			th.Tick(15)
+			b.Lock(th)
+			th.Tick(5)
+			a.Lock(th)
+			a.Unlock(th)
+			b.Unlock(th)
+		}
+	})
+	if !errors.Is(err, detlock.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	var dd *detlock.DeadlockError
+	if !errors.As(err, &dd) {
+		t.Fatalf("err = %v, want *detlock.DeadlockError", err)
+	}
+	if len(dd.Cycle) != 2 {
+		t.Fatalf("cycle = %+v, want 2 edges", dd.Cycle)
+	}
+	out := detlock.FormatFailure(err)
+	if !strings.Contains(out, "DEADLOCK") || !strings.Contains(out, "mutex#1") {
+		t.Fatalf("FormatFailure missing report:\n%s", out)
 	}
 }

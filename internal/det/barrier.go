@@ -1,11 +1,19 @@
 package det
 
+import (
+	"fmt"
+
+	"repro/internal/diag"
+)
+
 // Barrier is a deterministic cyclic barrier for a fixed number of
 // participants. On release, every participant resumes with clock
 // max(arrival clocks) + 1, so the post-barrier clocks — and therefore all
 // downstream synchronization decisions — are independent of arrival timing.
 type Barrier struct {
 	rt *Runtime
+	// id is the deterministic diagnostic identity ("barrier#id" in reports).
+	id int
 	n  int
 
 	arrived []*Thread
@@ -13,12 +21,19 @@ type Barrier struct {
 	cycles int64
 }
 
-// NewBarrier creates a barrier for n participants.
+// NewBarrier creates a barrier for n participants. A participant count the
+// program can never satisfy (more participants than threads that ever call
+// Wait) is not detectable here; it surfaces as a DeadlockError whose
+// snapshot names the barrier and its arrival count.
 func (rt *Runtime) NewBarrier(n int) *Barrier {
 	if n <= 0 {
 		panic("det: barrier needs at least one participant")
 	}
-	return &Barrier{rt: rt, n: n}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := &Barrier{rt: rt, id: rt.nextBarrier, n: n}
+	rt.nextBarrier++
+	return b
 }
 
 // Cycles returns the number of completed barrier episodes.
@@ -28,18 +43,24 @@ func (b *Barrier) Cycles() int64 {
 	return b.cycles
 }
 
+// name is the barrier's diagnostic identity.
+func (b *Barrier) name() string { return fmt.Sprintf("barrier#%d", b.id) }
+
 // Wait blocks until n threads have arrived. Arrival is a turn-gated event,
 // so the arrival order is deterministic; arrived threads are excluded from
 // the turn predicate so laggards are never starved by frozen clocks.
 func (b *Barrier) Wait(t *Thread) {
 	if b.rt != t.rt {
-		panic("det: barrier used with a thread from another runtime")
+		panic(misuse("Barrier.Wait", t, diag.ErrCrossRuntime, b.name()))
 	}
 	blocked := false
 	b.rt.event(t, func() bool {
 		b.arrived = append(b.arrived, t)
 		if len(b.arrived) < b.n {
+			t.blocked = blockBarrier
+			t.blockedBar = b
 			t.excluded.Store(true)
+			b.rt.checkDeadlockLocked()
 			blocked = true
 			return true
 		}
@@ -53,7 +74,7 @@ func (b *Barrier) Wait(t *Thread) {
 		release := max + 1
 		for _, w := range b.arrived[:len(b.arrived)-1] {
 			w.clock.Store(release)
-			w.excluded.Store(false)
+			w.unblockLocked()
 			w.wake <- struct{}{}
 		}
 		t.clock.Store(release)
@@ -62,6 +83,6 @@ func (b *Barrier) Wait(t *Thread) {
 		return true
 	})
 	if blocked {
-		<-t.wake
+		t.waitGrant()
 	}
 }

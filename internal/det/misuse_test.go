@@ -1,0 +1,237 @@
+package det
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+// Table-driven misuse tests: every API contract violation must surface as a
+// typed *diag.MisuseError (wrapped in the containing *diag.ThreadPanicError
+// when it unwinds a Run thread), never as a hang or an untyped panic.
+func TestMisuseTyped(t *testing.T) {
+	cases := []struct {
+		name       string
+		run        func() error
+		wantKind   error
+		wantThread int
+	}{
+		{
+			name: "double-unlock",
+			run: func() error {
+				rt := New(1)
+				mu := rt.NewMutex()
+				return rt.Run(func(th *Thread) {
+					th.Tick(1)
+					mu.Lock(th)
+					mu.Unlock(th)
+					mu.Unlock(th)
+				})
+			},
+			wantKind: diag.ErrNotHeld,
+		},
+		{
+			name: "unlock-by-non-holder",
+			run: func() error {
+				rt := New(2)
+				mu := rt.NewMutex()
+				bar := rt.NewBarrier(2)
+				return rt.Run(func(th *Thread) {
+					if th.ID() == 0 {
+						th.Tick(1)
+						mu.Lock(th)
+					}
+					bar.Wait(th)
+					if th.ID() == 1 {
+						mu.Unlock(th) // held by thread 0
+					}
+					bar.Wait(th)
+					if th.ID() == 0 {
+						mu.Unlock(th)
+					}
+				})
+			},
+			wantKind:   diag.ErrNotHeld,
+			wantThread: 1,
+		},
+		{
+			name: "lock-cross-runtime",
+			run: func() error {
+				other := New(1)
+				foreign := other.NewMutex()
+				rt := New(1)
+				return rt.Run(func(th *Thread) { foreign.Lock(th) })
+			},
+			wantKind: diag.ErrCrossRuntime,
+		},
+		{
+			name: "trylock-cross-runtime",
+			run: func() error {
+				other := New(1)
+				foreign := other.NewMutex()
+				rt := New(1)
+				return rt.Run(func(th *Thread) { foreign.TryLock(th) })
+			},
+			wantKind: diag.ErrCrossRuntime,
+		},
+		{
+			name: "unlock-cross-runtime",
+			run: func() error {
+				other := New(1)
+				foreign := other.NewMutex()
+				rt := New(1)
+				return rt.Run(func(th *Thread) { foreign.Unlock(th) })
+			},
+			wantKind: diag.ErrCrossRuntime,
+		},
+		{
+			name: "barrier-cross-runtime",
+			run: func() error {
+				other := New(1)
+				foreign := other.NewBarrier(1)
+				rt := New(1)
+				return rt.Run(func(th *Thread) { foreign.Wait(th) })
+			},
+			wantKind: diag.ErrCrossRuntime,
+		},
+		{
+			name: "cond-wait-cross-runtime",
+			run: func() error {
+				other := New(1)
+				foreign := other.NewCond(other.NewMutex())
+				rt := New(1)
+				return rt.Run(func(th *Thread) { foreign.Wait(th) })
+			},
+			wantKind: diag.ErrCrossRuntime,
+		},
+		{
+			name: "cond-signal-cross-runtime",
+			run: func() error {
+				other := New(1)
+				foreign := other.NewCond(other.NewMutex())
+				rt := New(1)
+				return rt.Run(func(th *Thread) { foreign.Signal(th) })
+			},
+			wantKind: diag.ErrCrossRuntime,
+		},
+		{
+			name: "cond-wait-without-mutex",
+			run: func() error {
+				rt := New(1)
+				cv := rt.NewCond(rt.NewMutex())
+				return rt.Run(func(th *Thread) { cv.Wait(th) })
+			},
+			wantKind: diag.ErrNotHeld,
+		},
+		{
+			name: "cond-broadcast-without-mutex",
+			run: func() error {
+				rt := New(1)
+				cv := rt.NewCond(rt.NewMutex())
+				return rt.Run(func(th *Thread) { cv.Broadcast(th) })
+			},
+			wantKind: diag.ErrNotHeld,
+		},
+		{
+			name: "self-join",
+			run: func() error {
+				rt := New(1)
+				return rt.Run(func(th *Thread) { th.Join(th) })
+			},
+			wantKind: diag.ErrSelfJoin,
+		},
+		{
+			name: "join-nil",
+			run: func() error {
+				rt := New(1)
+				return rt.Run(func(th *Thread) { th.Join(nil) })
+			},
+			wantKind: diag.ErrBadJoin,
+		},
+		{
+			name: "join-cross-runtime",
+			run: func() error {
+				other := New(2)
+				foreign := other.threads[1]
+				rt := New(1)
+				return rt.Run(func(th *Thread) { th.Join(foreign) })
+			},
+			wantKind: diag.ErrBadJoin,
+		},
+		{
+			name: "negative-tick",
+			run: func() error {
+				rt := New(1)
+				return rt.Run(func(th *Thread) { th.Tick(-1) })
+			},
+			wantKind: diag.ErrNegativeTick,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			err := c.run()
+			if err == nil {
+				t.Fatalf("Run returned nil, want %v", c.wantKind)
+			}
+			if !errors.Is(err, c.wantKind) {
+				t.Fatalf("err = %v, want kind %v", err, c.wantKind)
+			}
+			var mis *diag.MisuseError
+			if !errors.As(err, &mis) {
+				t.Fatalf("no *diag.MisuseError in %v", err)
+			}
+			if mis.ThreadID != c.wantThread {
+				t.Fatalf("misuse on thread %d, want %d (%v)", mis.ThreadID, c.wantThread, err)
+			}
+			var pe *diag.ThreadPanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("misuse not delivered via panic containment: %v", err)
+			}
+		})
+	}
+}
+
+// TestMisusePanicStillRecoverableInBody: user code that recovers a misuse
+// panic itself keeps the run healthy (backwards-compatible with the old
+// string panics).
+func TestMisusePanicStillRecoverableInBody(t *testing.T) {
+	rt := New(1)
+	mu := rt.NewMutex()
+	var recovered error
+	if err := rt.Run(func(th *Thread) {
+		defer func() {
+			if r := recover(); r != nil {
+				recovered = r.(error)
+			}
+		}()
+		mu.Unlock(th)
+	}); err != nil {
+		t.Fatalf("recovered-in-body run must be clean, got %v", err)
+	}
+	if !errors.Is(recovered, diag.ErrNotHeld) {
+		t.Fatalf("recovered = %v, want ErrNotHeld", recovered)
+	}
+}
+
+// TestJoinReturnsChildPanic: Join surfaces the child's contained panic.
+func TestJoinReturnsChildPanic(t *testing.T) {
+	rt := New(1)
+	var joinErr error
+	err := rt.Run(func(th *Thread) {
+		child := th.Spawn(func(c *Thread) {
+			c.Tick(3)
+			panic("child bug")
+		})
+		joinErr = th.Join(child)
+	})
+	var pe *diag.ThreadPanicError
+	if !errors.As(joinErr, &pe) || pe.ThreadID != 1 {
+		t.Fatalf("Join returned %v, want child's ThreadPanicError", joinErr)
+	}
+	// Run also reports it (the child is a thread of this runtime).
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v, want ThreadPanicError", err)
+	}
+}

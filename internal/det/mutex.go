@@ -1,10 +1,19 @@
 package det
 
+import (
+	"fmt"
+
+	"repro/internal/diag"
+)
+
 // Mutex is a deterministic mutual-exclusion lock. For a race-free program
 // with a fixed input, the global sequence of (thread, acquisition) pairs on
 // every Mutex is identical across runs (weak determinism).
 type Mutex struct {
 	rt *Runtime
+	// id is the deterministic diagnostic identity ("mutex#id" in reports),
+	// assigned in creation order.
+	id int
 
 	held   bool
 	holder *Thread
@@ -25,7 +34,13 @@ type Mutex struct {
 }
 
 // NewMutex creates a deterministic mutex managed by rt.
-func (rt *Runtime) NewMutex() *Mutex { return &Mutex{rt: rt} }
+func (rt *Runtime) NewMutex() *Mutex {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m := &Mutex{rt: rt, id: rt.nextMutex}
+	rt.nextMutex++
+	return m
+}
 
 // SetObserver installs fn to observe acquisitions. Must be called before the
 // mutex is shared.
@@ -38,6 +53,9 @@ func (m *Mutex) Acquisitions() int64 {
 	return m.acquisitions
 }
 
+// name is the mutex's diagnostic identity.
+func (m *Mutex) name() string { return fmt.Sprintf("mutex#%d", m.id) }
+
 // Lock acquires m deterministically: the thread waits for its global turn
 // (clock minimal, ties by id); if the mutex is free it takes it and ticks;
 // otherwise it enqueues with its clock frozen and blocks until the releaser
@@ -45,8 +63,9 @@ func (m *Mutex) Acquisitions() int64 {
 // paper's semantics: clock paused while waiting, resumed after acquisition.
 func (m *Mutex) Lock(t *Thread) {
 	if m.rt != t.rt {
-		panic("det: mutex used with a thread from another runtime")
+		panic(misuse("Mutex.Lock", t, diag.ErrCrossRuntime, m.name()))
 	}
+	m.rt.injectBoundary(t, "Mutex.Lock")
 	blocked := false
 	m.rt.event(t, func() bool {
 		if !m.held {
@@ -54,14 +73,18 @@ func (m *Mutex) Lock(t *Thread) {
 			return true
 		}
 		m.waiters = append(m.waiters, t)
-		t.blockExcludedLocked()
+		t.blocked = blockMutex
+		t.blockedMu = m
+		t.excluded.Store(true)
+		m.rt.checkDeadlockLocked()
 		blocked = true
 		return true
 	})
 	if blocked {
-		// The granter set our clock and cleared exclusion before waking us;
-		// nothing left to do: we own the mutex.
-		<-t.wake
+		// The granter set our clock, cleared the block bookkeeping and woke
+		// us; a fault wake instead leaves the bookkeeping set and waitGrant
+		// unwinds with the report.
+		t.waitGrant()
 	}
 }
 
@@ -73,6 +96,8 @@ func (m *Mutex) take(t *Thread, newClock int64) {
 	m.lastAcquirer = t.id
 	m.lastClock = newClock
 	t.clock.Store(newClock)
+	t.lastAcqRes = m.name()
+	t.lastAcqClock = newClock
 	m.rt.acquisitions.Add(1)
 	if m.observer != nil {
 		m.observer(t.id, newClock)
@@ -85,11 +110,16 @@ func (m *Mutex) take(t *Thread, newClock int64) {
 // max(frozen, releaser's clock) + 1.
 func (m *Mutex) Unlock(t *Thread) {
 	if m.rt != t.rt {
-		panic("det: mutex used with a thread from another runtime")
+		panic(misuse("Mutex.Unlock", t, diag.ErrCrossRuntime, m.name()))
 	}
+	m.rt.injectBoundary(t, "Mutex.Unlock")
 	m.rt.event(t, func() bool {
-		if !m.held || m.holder != t {
-			panic("det: unlock of mutex not held by this thread")
+		if !m.held {
+			panic(misuse("Mutex.Unlock", t, diag.ErrNotHeld, m.name()+" is not locked"))
+		}
+		if m.holder != t {
+			panic(misuse("Mutex.Unlock", t, diag.ErrNotHeld,
+				fmt.Sprintf("%s is held by thread %d", m.name(), m.holder.id)))
 		}
 		t.clock.Add(1)
 		m.releaseLocked(t)
@@ -114,7 +144,7 @@ func (m *Mutex) releaseLocked(t *Thread) {
 	// preserved.
 	newClock := next.clock.Load() + 1
 	m.take(next, newClock)
-	next.excluded.Store(false)
+	next.unblockLocked()
 	next.wake <- struct{}{}
 }
 
@@ -122,6 +152,10 @@ func (m *Mutex) releaseLocked(t *Thread) {
 // Returns whether the lock was taken. Deterministic for the same reason Lock
 // is: the decision happens at a totally-ordered event.
 func (m *Mutex) TryLock(t *Thread) bool {
+	if m.rt != t.rt {
+		panic(misuse("Mutex.TryLock", t, diag.ErrCrossRuntime, m.name()))
+	}
+	m.rt.injectBoundary(t, "Mutex.TryLock")
 	ok := false
 	m.rt.event(t, func() bool {
 		t.clock.Add(1)
@@ -132,10 +166,4 @@ func (m *Mutex) TryLock(t *Thread) bool {
 		return true
 	})
 	return ok
-}
-
-// blockExcludedLocked marks t excluded while rt.mu is held by the event
-// callback; the actual channel wait happens after the event returns.
-func (t *Thread) blockExcludedLocked() {
-	t.excluded.Store(true)
 }

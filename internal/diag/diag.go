@@ -1,0 +1,195 @@
+// Package diag defines the structured failure reports shared by the
+// deterministic runtime (internal/det) and the simulator (internal/sim).
+//
+// Deterministic execution's chief payoff is reproducible debugging (Aviram &
+// Ford's Determinator line of work makes this argument explicitly): a hang or
+// crash in a deterministically-scheduled program is the *same* hang on every
+// run, so the runtime can afford to turn every stuck state into a rich,
+// deterministic diagnostic instead of spinning forever. The types here are
+// that diagnostic: a per-thread snapshot, the wait-for edges between threads
+// and synchronization objects, and typed errors for the three failure
+// families — deadlock (a cycle or globally blocked state), stall (no clock
+// progress within a watchdog bound), and contained user panics — plus typed
+// misuse errors for API contract violations.
+//
+// The invariant the runtime maintains with these types: det never hangs —
+// every stuck state terminates with a structured report.
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Sentinel classification errors. Concrete reports wrap one of these, so
+// callers can classify with errors.Is while errors.As extracts the detail.
+var (
+	// ErrDeadlock: every live thread is blocked on a synchronization object;
+	// no thread can ever make progress.
+	ErrDeadlock = errors.New("deadlock: no thread can make progress")
+	// ErrStalled: the progress watchdog observed no logical-clock advance and
+	// no synchronization event within its bound.
+	ErrStalled = errors.New("stalled: no progress within watchdog bound")
+	// ErrCrossRuntime: a synchronization object was used with a thread that
+	// belongs to a different runtime.
+	ErrCrossRuntime = errors.New("object and thread belong to different runtimes")
+	// ErrNotHeld: unlock (or condition-variable operation) on a mutex the
+	// thread does not hold.
+	ErrNotHeld = errors.New("mutex not held by this thread")
+	// ErrSelfJoin: a thread attempted to join itself.
+	ErrSelfJoin = errors.New("thread cannot join itself")
+	// ErrBadJoin: join target is nil or not a thread of this runtime.
+	ErrBadJoin = errors.New("join target is not a thread of this runtime")
+	// ErrNegativeTick: Tick called with a negative amount.
+	ErrNegativeTick = errors.New("negative Tick amount")
+	// ErrInjected tags failures produced by the fault-injection harness.
+	ErrInjected = errors.New("injected fault")
+)
+
+// ThreadSnapshot is one thread's state at the moment a failure report was
+// assembled. All fields are deterministic functions of the program's logic
+// (clocks are frozen logical clocks, never wall time).
+type ThreadSnapshot struct {
+	ID    int
+	Clock int64
+	// State is "runnable", "blocked", "done" or "panicked".
+	State string
+	// BlockedOn names the synchronization object a blocked thread waits on,
+	// e.g. "mutex#1", "barrier#0 (arrived 2 of 3)", "join(thread 2)".
+	BlockedOn string
+	// Holder is the thread holding BlockedOn (mutex holder, join target),
+	// or -1 when there is no single owner (barriers, condition variables).
+	Holder int
+	// LastAcq describes the thread's most recent lock acquisition as
+	// "mutex#N@clock", or "" if it never acquired a lock.
+	LastAcq string
+}
+
+func (s ThreadSnapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "thread %d clock=%d %s", s.ID, s.Clock, s.State)
+	if s.BlockedOn != "" {
+		fmt.Fprintf(&sb, " on %s", s.BlockedOn)
+		if s.Holder >= 0 {
+			fmt.Fprintf(&sb, " (held by thread %d)", s.Holder)
+		}
+	}
+	if s.LastAcq != "" {
+		fmt.Fprintf(&sb, " last-acq %s", s.LastAcq)
+	}
+	return sb.String()
+}
+
+// WaitEdge is one edge of the wait-for graph: Waiter is blocked on Resource,
+// which is owned by Holder (-1 when the resource has no single owner).
+type WaitEdge struct {
+	Waiter   int
+	Resource string
+	Holder   int
+}
+
+// FormatCycle renders a wait-for cycle as
+// "thread 0 -[mutex#1]-> thread 1 -[mutex#0]-> thread 0".
+func FormatCycle(cycle []WaitEdge) string {
+	if len(cycle) == 0 {
+		return "(no single-owner cycle: collective wait)"
+	}
+	var sb strings.Builder
+	for _, e := range cycle {
+		fmt.Fprintf(&sb, "thread %d -[%s]-> ", e.Waiter, e.Resource)
+	}
+	fmt.Fprintf(&sb, "thread %d", cycle[0].Waiter)
+	return sb.String()
+}
+
+// DeadlockError reports a state in which every live thread is blocked.
+// Cycle is the wait-for cycle when one exists (mutex/join ownership chains);
+// Waits lists every blocked thread's edge; Threads is the full snapshot.
+// The report is deterministic: the same program reaches the same blocked
+// state — same cycle, same clocks — on every run.
+type DeadlockError struct {
+	Cycle   []WaitEdge
+	Waits   []WaitEdge
+	Threads []ThreadSnapshot
+}
+
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v; cycle: %s", ErrDeadlock, FormatCycle(e.Cycle))
+	blocked := 0
+	for _, t := range e.Threads {
+		if t.State == "blocked" {
+			blocked++
+		}
+	}
+	fmt.Fprintf(&sb, "; %d thread(s) blocked", blocked)
+	return sb.String()
+}
+
+// Unwrap classifies the error as ErrDeadlock.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// WatchdogError reports a livelock: no logical clock advanced and no thread
+// started or finished for at least NoProgressFor. Unlike DeadlockError the
+// *moment* of detection depends on wall time, but the snapshot content is
+// derived from deterministic state only.
+type WatchdogError struct {
+	NoProgressFor time.Duration
+	Threads       []ThreadSnapshot
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("%v (%v without clock advance, %d thread(s) live)",
+		ErrStalled, e.NoProgressFor, len(e.Threads))
+}
+
+// Unwrap classifies the error as ErrStalled.
+func (e *WatchdogError) Unwrap() error { return ErrStalled }
+
+// ThreadPanicError reports a user panic contained by the runtime: the
+// panicking thread was deterministically removed from the turn predicate and
+// the panic value preserved here.
+type ThreadPanicError struct {
+	ThreadID int
+	Clock    int64
+	Value    any
+	Stack    string
+}
+
+func (e *ThreadPanicError) Error() string {
+	return fmt.Sprintf("thread %d panicked at clock %d: %v", e.ThreadID, e.Clock, e.Value)
+}
+
+// Unwrap exposes the panic value when it is itself an error (typed misuse
+// and injected faults panic with error values), so errors.Is/As see through
+// the containment.
+func (e *ThreadPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// MisuseError reports an API contract violation (unlock of an unheld mutex,
+// cross-runtime object use, self-join, ...) with the offending thread's
+// context. Kind is one of the sentinel errors above.
+type MisuseError struct {
+	Op       string // e.g. "Mutex.Unlock"
+	ThreadID int
+	Clock    int64
+	Kind     error
+	Detail   string
+}
+
+func (e *MisuseError) Error() string {
+	s := fmt.Sprintf("%s: %v (thread %d, clock %d)", e.Op, e.Kind, e.ThreadID, e.Clock)
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Unwrap classifies the error by its Kind sentinel.
+func (e *MisuseError) Unwrap() error { return e.Kind }

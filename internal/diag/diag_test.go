@@ -1,0 +1,80 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDeadlockErrorClassification(t *testing.T) {
+	dd := &DeadlockError{
+		Cycle: []WaitEdge{
+			{Waiter: 0, Resource: "mutex#1", Holder: 1},
+			{Waiter: 1, Resource: "mutex#0", Holder: 0},
+		},
+		Threads: []ThreadSnapshot{
+			{ID: 0, Clock: 21, State: "blocked", BlockedOn: "mutex#1", Holder: 1},
+			{ID: 1, Clock: 21, State: "blocked", BlockedOn: "mutex#0", Holder: 0},
+		},
+	}
+	var err error = fmt.Errorf("run: %w", dd)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("errors.Is(ErrDeadlock) = false for %v", err)
+	}
+	var got *DeadlockError
+	if !errors.As(err, &got) || len(got.Cycle) != 2 {
+		t.Fatalf("errors.As failed: %v", err)
+	}
+	msg := dd.Error()
+	for _, want := range []string{"deadlock", "thread 0 -[mutex#1]-> thread 1 -[mutex#0]-> thread 0", "2 thread(s) blocked"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestFormatCycleEmpty(t *testing.T) {
+	if got := FormatCycle(nil); !strings.Contains(got, "collective") {
+		t.Fatalf("FormatCycle(nil) = %q", got)
+	}
+}
+
+func TestThreadPanicErrorUnwrapsErrorValues(t *testing.T) {
+	inner := &MisuseError{Op: "Mutex.Unlock", ThreadID: 3, Clock: 7, Kind: ErrNotHeld}
+	pe := &ThreadPanicError{ThreadID: 3, Clock: 7, Value: inner}
+	if !errors.Is(pe, ErrNotHeld) {
+		t.Fatalf("panic containment must expose the misuse kind: %v", pe)
+	}
+	var mis *MisuseError
+	if !errors.As(pe, &mis) || mis.Op != "Mutex.Unlock" {
+		t.Fatalf("errors.As(*MisuseError) failed: %v", pe)
+	}
+	// Non-error panic values do not unwrap.
+	pe2 := &ThreadPanicError{ThreadID: 0, Value: "boom"}
+	if errors.Is(pe2, ErrNotHeld) {
+		t.Fatalf("string panic value must not match sentinels")
+	}
+	if !strings.Contains(pe2.Error(), "boom") {
+		t.Fatalf("Error() = %q", pe2.Error())
+	}
+}
+
+func TestWatchdogErrorClassification(t *testing.T) {
+	we := &WatchdogError{Threads: []ThreadSnapshot{{ID: 0, State: "runnable"}}}
+	if !errors.Is(we, ErrStalled) {
+		t.Fatalf("watchdog error must classify as ErrStalled")
+	}
+	if errors.Is(we, ErrDeadlock) {
+		t.Fatalf("watchdog error must not classify as deadlock")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := ThreadSnapshot{ID: 2, Clock: 41, State: "blocked", BlockedOn: "mutex#0", Holder: 1, LastAcq: "mutex#3@40"}
+	for _, want := range []string{"thread 2", "clock=41", "mutex#0", "held by thread 1", "mutex#3@40"} {
+		if !strings.Contains(s.String(), want) {
+			t.Fatalf("String() = %q, missing %q", s.String(), want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/diag"
 )
 
 // StepKind tags what a program thread produced when stepped.
@@ -171,8 +173,10 @@ type Engine struct {
 	stats    Stats
 }
 
-// ErrDeadlock is wrapped by Run when no thread can make progress.
-var ErrDeadlock = errors.New("sim: deadlock")
+// ErrDeadlock classifies the *diag.DeadlockError Run returns when no thread
+// can make progress — the same structured report the goroutine runtime
+// (internal/det) produces, so callers handle both identically.
+var ErrDeadlock = diag.ErrDeadlock
 
 // ErrStepLimit is wrapped by Run when MaxSteps is exceeded.
 var ErrStepLimit = errors.New("sim: step limit exceeded")
@@ -206,7 +210,7 @@ func (e *Engine) Run() (*Stats, error) {
 			if e.allDone() {
 				break
 			}
-			return nil, fmt.Errorf("%w: %s", ErrDeadlock, e.describeStuck())
+			return nil, e.deadlockError()
 		}
 		e.stats.Steps++
 		if e.stats.Steps > e.cfg.MaxSteps {
@@ -275,15 +279,113 @@ func (e *Engine) allDone() bool {
 	return true
 }
 
-func (e *Engine) describeStuck() string {
-	var s string
+// deadlockError assembles the same structured report internal/det produces:
+// per-thread snapshots, wait-for edges, and the cycle when one exists.
+func (e *Engine) deadlockError() *diag.DeadlockError {
+	dd := &diag.DeadlockError{}
 	for _, t := range e.threads {
-		if t.status != tsDone {
-			s += fmt.Sprintf("[thread %d status=%d clock=%d phys=%d lock=%d] ",
-				t.id, t.status, t.clock, t.phys, t.wantLock)
+		s := diag.ThreadSnapshot{ID: t.id, Clock: t.clock, Holder: -1}
+		switch t.status {
+		case tsDone:
+			s.State = "done"
+		case tsBlocked:
+			s.State = "blocked"
+			s.BlockedOn = fmt.Sprintf("mutex#%d", t.wantLock)
+			if l := &e.locks[t.wantLock]; l.held {
+				s.Holder = l.holder
+			}
+		case tsBarrier:
+			s.State = "blocked"
+			s.BlockedOn = fmt.Sprintf("barrier#%d", t.wantLock)
+		case tsJoining:
+			s.State = "blocked"
+			s.BlockedOn = fmt.Sprintf("join(thread %d)", t.wantLock)
+			s.Holder = t.wantLock
+		case tsAcquiring:
+			// An acquirer that never gains the turn is stuck waiting for the
+			// lock it requested; report it as such.
+			s.State = "blocked"
+			s.BlockedOn = fmt.Sprintf("mutex#%d", t.wantLock)
+			if l := &e.locks[t.wantLock]; l.held {
+				s.Holder = l.holder
+			}
+		default:
+			s.State = "runnable"
+		}
+		if s.State == "blocked" {
+			dd.Waits = append(dd.Waits, diag.WaitEdge{
+				Waiter: t.id, Resource: s.BlockedOn, Holder: s.Holder,
+			})
+		}
+		dd.Threads = append(dd.Threads, s)
+	}
+	dd.Cycle = e.findCycle()
+	return dd
+}
+
+// findCycle walks thread → holder-of-blocked-on-resource edges (out-degree
+// at most one) from each thread in id order and returns the first cycle.
+func (e *Engine) findCycle() []diag.WaitEdge {
+	succ := func(t *tstate) *tstate {
+		switch t.status {
+		case tsBlocked, tsAcquiring:
+			if l := &e.locks[t.wantLock]; l.held && e.threads[l.holder].status != tsDone {
+				return e.threads[l.holder]
+			}
+		case tsJoining:
+			if tgt := e.threads[t.wantLock]; tgt.status != tsDone {
+				return tgt
+			}
+		}
+		return nil
+	}
+	edge := func(t *tstate) diag.WaitEdge {
+		w := diag.WaitEdge{Waiter: t.id, Holder: -1}
+		switch t.status {
+		case tsBlocked, tsAcquiring:
+			w.Resource = fmt.Sprintf("mutex#%d", t.wantLock)
+			if l := &e.locks[t.wantLock]; l.held {
+				w.Holder = l.holder
+			}
+		case tsJoining:
+			w.Resource = fmt.Sprintf("join(thread %d)", t.wantLock)
+			w.Holder = t.wantLock
+		}
+		return w
+	}
+	const (
+		unvisited = 0
+		onPath    = 1
+		finished  = 2
+	)
+	state := make(map[*tstate]int, len(e.threads))
+	for _, start := range e.threads {
+		if state[start] != unvisited {
+			continue
+		}
+		var path []*tstate
+		t := start
+		for t != nil && state[t] == unvisited {
+			state[t] = onPath
+			path = append(path, t)
+			t = succ(t)
+		}
+		if t != nil && state[t] == onPath {
+			i := 0
+			for path[i] != t {
+				i++
+			}
+			out := make([]diag.WaitEdge, 0, len(path)-i)
+			for _, w := range path[i:] {
+				out = append(out, edge(w))
+			}
+			return out
+		}
+		for _, p := range path {
+			state[p] = finished
 		}
 	}
-	return s
+	return nil
 }
 
 // excludedFromTurn mirrors package det: blocked lock waiters, barrier

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/diag"
 )
 
 // scriptProg replays a fixed list of steps.
@@ -147,6 +149,28 @@ func TestDeadlockReported(t *testing.T) {
 	_, err := eng.Run()
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	// The report is structured: it names the exact ABBA wait-for cycle.
+	var dd *diag.DeadlockError
+	if !errors.As(err, &dd) {
+		t.Fatalf("err = %v, want *diag.DeadlockError", err)
+	}
+	wantCycle := []diag.WaitEdge{
+		{Waiter: 0, Resource: "mutex#1", Holder: 1},
+		{Waiter: 1, Resource: "mutex#0", Holder: 0},
+	}
+	if len(dd.Cycle) != len(wantCycle) {
+		t.Fatalf("cycle = %+v, want %+v", dd.Cycle, wantCycle)
+	}
+	for i, e := range dd.Cycle {
+		if e != wantCycle[i] {
+			t.Fatalf("cycle[%d] = %+v, want %+v", i, e, wantCycle[i])
+		}
+	}
+	for _, s := range dd.Threads {
+		if s.State != "blocked" {
+			t.Fatalf("thread %d state = %q, want blocked", s.ID, s.State)
+		}
 	}
 }
 

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/diag"
+)
+
+// Failure-report rendering. The runtime and simulator return structured
+// failure errors (internal/diag); this file turns them into the human-facing
+// reports the tools and examples print. Rendering lives next to the schedule
+// machinery because a failure report is the same kind of evidence a schedule
+// is: a deterministic artifact of the run, identical across re-runs, meant
+// for diffing and debugging.
+
+// FormatSnapshots renders per-thread snapshots as an aligned table.
+func FormatSnapshots(threads []diag.ThreadSnapshot) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "thread\tclock\tstate\tblocked on\tlast acquisition")
+	for _, t := range threads {
+		blocked := t.BlockedOn
+		if blocked != "" && t.Holder >= 0 {
+			blocked += fmt.Sprintf(" (held by thread %d)", t.Holder)
+		}
+		if blocked == "" {
+			blocked = "-"
+		}
+		last := t.LastAcq
+		if last == "" {
+			last = "-"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%s\n", t.ID, t.Clock, t.State, blocked, last)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// FormatDeadlock renders the full deadlock report: the wait-for cycle, every
+// wait edge, and the per-thread snapshot table.
+func FormatDeadlock(dd *diag.DeadlockError) string {
+	var sb strings.Builder
+	sb.WriteString("DEADLOCK: no thread can make progress\n")
+	fmt.Fprintf(&sb, "cycle: %s\n", diag.FormatCycle(dd.Cycle))
+	if len(dd.Waits) > 0 {
+		sb.WriteString("waits:\n")
+		for _, e := range dd.Waits {
+			if e.Holder >= 0 {
+				fmt.Fprintf(&sb, "  thread %d -> %s (held by thread %d)\n", e.Waiter, e.Resource, e.Holder)
+			} else {
+				fmt.Fprintf(&sb, "  thread %d -> %s\n", e.Waiter, e.Resource)
+			}
+		}
+	}
+	sb.WriteString(FormatSnapshots(dd.Threads))
+	return sb.String()
+}
+
+// FormatWatchdog renders a watchdog stall report.
+func FormatWatchdog(we *diag.WatchdogError) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "STALLED: no clock advance for %v (livelock)\n", we.NoProgressFor)
+	sb.WriteString(FormatSnapshots(we.Threads))
+	return sb.String()
+}
+
+// FormatFailure renders any runtime failure error — deadlock, watchdog
+// stall, contained panic, misuse — into the full diagnostic report; other
+// errors render as their Error() string. Joined errors render every part.
+func FormatFailure(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var parts []string
+	var dd *diag.DeadlockError
+	if errors.As(err, &dd) {
+		parts = append(parts, FormatDeadlock(dd))
+	}
+	var we *diag.WatchdogError
+	if errors.As(err, &we) {
+		parts = append(parts, FormatWatchdog(we))
+	}
+	var pe *diag.ThreadPanicError
+	if errors.As(err, &pe) {
+		parts = append(parts, fmt.Sprintf("PANIC: %v\n", pe))
+	}
+	var mis *diag.MisuseError
+	if errors.As(err, &mis) {
+		parts = append(parts, fmt.Sprintf("MISUSE: %v\n", mis))
+	}
+	if len(parts) == 0 {
+		return err.Error()
+	}
+	return strings.Join(parts, "")
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+func sampleDeadlock() *diag.DeadlockError {
+	return &diag.DeadlockError{
+		Cycle: []diag.WaitEdge{
+			{Waiter: 0, Resource: "mutex#1", Holder: 1},
+			{Waiter: 1, Resource: "mutex#0", Holder: 0},
+		},
+		Waits: []diag.WaitEdge{
+			{Waiter: 0, Resource: "mutex#1", Holder: 1},
+			{Waiter: 1, Resource: "mutex#0", Holder: 0},
+		},
+		Threads: []diag.ThreadSnapshot{
+			{ID: 0, Clock: 21, State: "blocked", BlockedOn: "mutex#1", Holder: 1, LastAcq: "mutex#0@11"},
+			{ID: 1, Clock: 21, State: "blocked", BlockedOn: "mutex#0", Holder: 0, LastAcq: "mutex#1@16"},
+		},
+	}
+}
+
+func TestFormatDeadlock(t *testing.T) {
+	out := FormatDeadlock(sampleDeadlock())
+	for _, want := range []string{
+		"DEADLOCK",
+		"thread 0 -[mutex#1]-> thread 1 -[mutex#0]-> thread 0",
+		"held by thread 1",
+		"mutex#0@11",
+		"blocked",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatSnapshotsAlignsColumns(t *testing.T) {
+	out := FormatSnapshots([]diag.ThreadSnapshot{
+		{ID: 0, Clock: 5, State: "runnable", Holder: -1},
+		{ID: 1, Clock: 100000, State: "blocked", BlockedOn: "barrier#0 (arrived 1 of 2)", Holder: -1},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "blocked on") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(out, "arrived 1 of 2") {
+		t.Fatalf("missing collective-wait detail:\n%s", out)
+	}
+}
+
+func TestFormatFailureDispatch(t *testing.T) {
+	dd := sampleDeadlock()
+	if out := FormatFailure(fmt.Errorf("run: %w", dd)); !strings.Contains(out, "DEADLOCK") {
+		t.Fatalf("wrapped deadlock not rendered:\n%s", out)
+	}
+	we := &diag.WatchdogError{Threads: []diag.ThreadSnapshot{{ID: 0, State: "runnable", Holder: -1}}}
+	if out := FormatFailure(we); !strings.Contains(out, "STALLED") {
+		t.Fatalf("watchdog not rendered:\n%s", out)
+	}
+	pe := &diag.ThreadPanicError{ThreadID: 2, Clock: 9, Value: "boom"}
+	if out := FormatFailure(pe); !strings.Contains(out, "PANIC") || !strings.Contains(out, "boom") {
+		t.Fatalf("panic not rendered:\n%s", out)
+	}
+	if out := FormatFailure(fmt.Errorf("plain")); out != "plain" {
+		t.Fatalf("plain error = %q", out)
+	}
+	if out := FormatFailure(nil); out != "ok" {
+		t.Fatalf("nil = %q", out)
+	}
+}
