@@ -18,7 +18,8 @@ test:
 race:
 	$(GO) test -race -timeout $(TIMEOUT) ./...
 
-# bench runs the robustness bench guard: watchdog-disabled lock throughput
-# must stay within noise of the plain runtime.
+# bench runs the robustness bench guards: watchdog-disabled lock throughput
+# must stay within noise of the plain runtime, and the disabled race
+# detector must add no allocations to the simulator hot loop.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkDetRuntimeWatchdog -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkDetRuntimeWatchdog|BenchmarkRaceDetectorOff' -benchtime 1x -benchmem .

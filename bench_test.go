@@ -243,3 +243,35 @@ done:
   ret r0
 }
 `
+
+// BenchmarkRaceDetectorOff is the race-layer bench guard, in the shape of
+// BenchmarkDetRuntimeWatchdog: with detection off (the default) the simulator
+// hot loop must match the pre-detector numbers — the disabled path is a
+// single nil check on each load/store and adds no allocations — and the "on"
+// case bounds the full vector-clock cost. Compare off/on with -benchmem:
+// allocs/op of "off" is the guarded number.
+func BenchmarkRaceDetectorOff(b *testing.B) {
+	m, err := detlock.ParseProgram(benchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := detlock.AllOptimizations()
+	run := func(b *testing.B, race *detlock.RaceConfig) {
+		b.ReportAllocs()
+		cfg := detlock.SimConfig{Threads: 4, Opt: &opt, Deterministic: true, Race: race}
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			res, err := detlock.Simulate(m, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Races) != 0 {
+				b.Fatalf("bench program raced: %v", res.Races[0])
+			}
+			cycles = res.Cycles
+		}
+		b.ReportMetric(float64(cycles), "simcycles")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, &detlock.RaceConfig{Policy: detlock.RaceReport}) })
+}

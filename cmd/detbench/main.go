@@ -10,6 +10,11 @@
 //	detbench -all               # everything
 //	detbench -threads N         # thread count (default 4, as in the paper)
 //	detbench -bench name        # restrict Table I/II to one benchmark
+//	detbench -race              # fail-fast race detection on deterministic runs
+//
+// -race is a correctness guard, not a benchmark mode: it perturbs the
+// deterministic runs' instruction stream with detector checks, so overhead
+// numbers produced with it enabled are not comparable to the paper's.
 package main
 
 import (
@@ -31,11 +36,13 @@ func main() {
 		threads  = flag.Int("threads", 4, "simulated thread count")
 		bench    = flag.String("bench", "", "restrict to one benchmark")
 		diag     = flag.String("diag", "", "print per-mode diagnostics for one benchmark")
+		race     = flag.Bool("race", false, "enable fail-fast race detection on deterministic runs")
 	)
 	flag.Parse()
 	if *diag != "" {
 		r := harness.NewRunner()
 		r.Threads = *threads
+		r.RaceCheck = *race
 		runDiag(r, *diag)
 		return
 	}
@@ -44,6 +51,10 @@ func main() {
 	}
 	r := harness.NewRunner()
 	r.Threads = *threads
+	r.RaceCheck = *race
+	if *race {
+		fmt.Println("race detector enabled on deterministic runs; overheads below are NOT paper-comparable")
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "detbench:", err)

@@ -9,6 +9,11 @@
 // By default the program is instrumented with all optimizations and run
 // deterministically; -runs K > 1 re-executes and verifies that the
 // synchronization schedule is identical across runs (weak determinism).
+//
+// -race enables the deterministic data-race detector (requires the
+// deterministic backend, i.e. incompatible with -baseline); -race-policy
+// selects fail-fast (stop at the first race) or report (collect races and
+// finish the run). Any race exits with status 1.
 package main
 
 import (
@@ -28,6 +33,8 @@ func main() {
 		baseline = flag.Bool("baseline", false, "run uninstrumented with plain locks")
 		runs     = flag.Int("runs", 1, "number of runs (schedules must match)")
 		showIR   = flag.Bool("show-ir", false, "print the instrumented IR")
+		race     = flag.Bool("race", false, "enable the deterministic data-race detector")
+		racePol  = flag.String("race-policy", "fail", "race policy: fail (stop at first race) or report (collect and finish)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,6 +60,21 @@ func main() {
 	if !*baseline {
 		opt := harness.PresetByKey(*optName)
 		cfg.Opt = &opt
+	}
+	if *race {
+		rc := detlock.RaceConfig{}
+		switch *racePol {
+		case "fail":
+			rc.Policy = detlock.RaceFailFast
+		case "report":
+			rc.Policy = detlock.RaceReport
+		default:
+			fmt.Fprintf(os.Stderr, "detlock: unknown -race-policy %q (want fail or report)\n", *racePol)
+			os.Exit(2)
+		}
+		// -race -baseline surfaces the typed backend misuse error from
+		// Simulate rather than being silently ignored here.
+		cfg.Race = &rc
 	}
 
 	if *showIR && cfg.Opt != nil {
@@ -80,6 +102,18 @@ func main() {
 	if res.Schedule != nil && res.Schedule.Len() > 0 {
 		fmt.Printf("schedule hash: %016x (%d events)\n", res.Schedule.Hash(), res.Schedule.Len())
 	}
+	if len(res.Races) > 0 {
+		for _, re := range res.Races {
+			fmt.Fprintln(os.Stderr, detlock.FormatFailure(re))
+		}
+		if res.RacesSuppressed > 0 {
+			fmt.Fprintf(os.Stderr, "detlock: %d further race reports suppressed by the cap\n", res.RacesSuppressed)
+		}
+		fmt.Fprintf(os.Stderr, "detlock: %d data race(s) detected\n", len(res.Races))
+		os.Exit(1)
+	} else if *race {
+		fmt.Println("race detector: no races detected")
+	}
 
 	if *runs > 1 && !*baseline {
 		if _, err := detlock.CheckDeterminism(m, cfg, *runs); err != nil {
@@ -90,6 +124,6 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "detlock:", err)
+	fmt.Fprintln(os.Stderr, "detlock:", detlock.FormatFailure(err))
 	os.Exit(1)
 }

@@ -112,6 +112,39 @@ type ThreadPanicError = diag.ThreadPanicError
 // MisuseError reports an API contract violation with thread context.
 type MisuseError = diag.MisuseError
 
+// RaceError reports a data race found by the simulator's deterministic
+// detector: the conflicting access pair with threads, vector clocks, held
+// locksets and the flat address — identical on every run, including under
+// physical-timing perturbation.
+type RaceError = diag.RaceError
+
+// RaceAccess is one side of a reported race.
+type RaceAccess = diag.RaceAccess
+
+// DivergenceError reports the first synchronization event at which a run's
+// schedule differs from the reference — trace.CheckRuns' typed result and
+// the runtime replay guard's (Runtime.SetReplayGuard) failure report.
+type DivergenceError = diag.DivergenceError
+
+// DivergenceEvent is one synchronization event in a divergence report.
+type DivergenceEvent = diag.DivergenceEvent
+
+// RaceConfig enables the simulator's deterministic race detector.
+type RaceConfig = interp.RaceConfig
+
+// RacePolicy selects fail-fast vs report-and-continue detection.
+type RacePolicy = interp.RacePolicy
+
+// Race policies.
+const (
+	// RaceFailFast aborts the simulation at the first race; Simulate
+	// returns the *RaceError.
+	RaceFailFast = interp.RaceFailFast
+	// RaceReport collects races (deterministically capped) and lets the run
+	// finish; read them from SimResult.Races.
+	RaceReport = interp.RaceReport
+)
+
 // ThreadSnapshot is one thread's state inside a failure report.
 type ThreadSnapshot = diag.ThreadSnapshot
 
@@ -123,12 +156,16 @@ type WatchdogConfig = det.WatchdogConfig
 
 // Failure classification sentinels for errors.Is.
 var (
-	ErrDeadlock     = diag.ErrDeadlock
-	ErrStalled      = diag.ErrStalled
-	ErrCrossRuntime = diag.ErrCrossRuntime
-	ErrNotHeld      = diag.ErrNotHeld
-	ErrSelfJoin     = diag.ErrSelfJoin
-	ErrBadJoin      = diag.ErrBadJoin
+	ErrDeadlock       = diag.ErrDeadlock
+	ErrStalled        = diag.ErrStalled
+	ErrCrossRuntime   = diag.ErrCrossRuntime
+	ErrNotHeld        = diag.ErrNotHeld
+	ErrSelfJoin       = diag.ErrSelfJoin
+	ErrBadJoin        = diag.ErrBadJoin
+	ErrRace           = diag.ErrRace
+	ErrDivergence     = diag.ErrDivergence
+	ErrDetectorMidRun = diag.ErrDetectorMidRun
+	ErrRaceBackend    = diag.ErrRaceBackend
 )
 
 // FormatFailure renders a runtime failure error (deadlock, stall, panic,
@@ -147,6 +184,10 @@ type InstrumentResult = core.Result
 // Schedule is a recorded synchronization order; identical schedules across
 // runs are the definition of weak determinism.
 type Schedule = trace.Schedule
+
+// NewSchedule returns an empty schedule, for Runtime.RecordSchedule and
+// Runtime.SetReplayGuard.
+func NewSchedule() *Schedule { return trace.New() }
 
 // AllOptimizations returns the paper's "With All Optimizations" setting.
 func AllOptimizations() Options { return core.OptAll }
@@ -185,6 +226,18 @@ type SimConfig struct {
 	Deterministic bool
 	// RecordSchedule captures the lock-acquisition schedule.
 	RecordSchedule bool
+	// Race enables the deterministic data-race detector (vector clocks with
+	// a lockset pre-filter over every simulated load and store). Requires
+	// Deterministic — the detector guards the weak-determinism contract, and
+	// its reports are only reproducible under the deterministic policy;
+	// combining it with the FCFS baseline is a typed *MisuseError
+	// (ErrRaceBackend). Nil disables detection at zero cost.
+	Race *RaceConfig
+	// PerturbSeed, when nonzero, perturbs physical instruction timing with
+	// seeded pseudo-random extra cycles (the fault-injection harness for
+	// timing). Deterministic schedules — and race reports — are invariant
+	// under it; baseline FCFS schedules generally are not. Zero disables.
+	PerturbSeed int64
 }
 
 // SimResult reports a simulation outcome.
@@ -203,6 +256,12 @@ type SimResult struct {
 	Schedule *Schedule
 	// Output is each thread's deterministic print log.
 	Output [][]int64
+	// Races lists the data races found when SimConfig.Race ran with
+	// RaceReport; deterministically ordered and capped at
+	// RaceConfig.MaxReports.
+	Races []*RaceError
+	// RacesSuppressed counts races dropped beyond the report cap.
+	RacesSuppressed int
 }
 
 // Simulate instruments (optionally) and runs m on the deterministic
@@ -213,6 +272,14 @@ func Simulate(m *Module, cfg SimConfig) (*SimResult, error) {
 	}
 	if cfg.Entry == "" {
 		cfg.Entry = "main"
+	}
+	if cfg.Race != nil && !cfg.Deterministic {
+		return nil, &diag.MisuseError{
+			Op:       "detlock.Simulate",
+			ThreadID: -1,
+			Kind:     diag.ErrRaceBackend,
+			Detail:   "SimConfig.Race requires SimConfig.Deterministic: race reports are only reproducible under the deterministic policy",
+		}
 	}
 	clone := m.Clone()
 	out := &SimResult{}
@@ -226,10 +293,12 @@ func Simulate(m *Module, cfg SimConfig) (*SimResult, error) {
 		out.Clockable = res.ClockableNames()
 	}
 	mach, threads, err := interp.NewMachine(interp.Config{
-		Module:    clone,
-		Threads:   cfg.Threads,
-		Entry:     cfg.Entry,
-		Estimates: estimates.DefaultTable(),
+		Module:     clone,
+		Threads:    cfg.Threads,
+		Entry:      cfg.Entry,
+		Estimates:  estimates.DefaultTable(),
+		Race:       cfg.Race,
+		JitterSeed: cfg.PerturbSeed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("detlock: %w", err)
@@ -243,6 +312,7 @@ func Simulate(m *Module, cfg SimConfig) (*SimResult, error) {
 		NumLocks:    clone.NumLocks,
 		NumBarriers: clone.NumBars,
 		RecordTrace: cfg.RecordSchedule,
+		Observer:    mach.Observer(),
 	}, interp.Programs(threads))
 	stats, err := eng.Run()
 	if err != nil {
@@ -255,6 +325,8 @@ func Simulate(m *Module, cfg SimConfig) (*SimResult, error) {
 	if cfg.RecordSchedule {
 		out.Schedule = trace.FromSim(stats.Trace)
 	}
+	out.Races = mach.Races()
+	out.RacesSuppressed = mach.RacesSuppressed()
 	for _, th := range threads {
 		out.Output = append(out.Output, append([]int64(nil), th.Output...))
 	}

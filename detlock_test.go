@@ -192,3 +192,168 @@ func TestFailureFacade(t *testing.T) {
 		t.Fatalf("FormatFailure missing report:\n%s", out)
 	}
 }
+
+const racyProgram = `
+module racy
+global shared 4
+
+func main() regs 4 {
+entry:
+  r0 = tid
+  store shared[0], r0
+  ret r0
+}
+`
+
+func TestSimulateRaceDetection(t *testing.T) {
+	m, err := detlock.ParseProgram(racyProgram)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	// Fail-fast: the run aborts with the typed race error.
+	_, err = detlock.Simulate(m, detlock.SimConfig{
+		Threads:       2,
+		Deterministic: true,
+		Race:          &detlock.RaceConfig{Policy: detlock.RaceFailFast},
+	})
+	if !errors.Is(err, detlock.ErrRace) {
+		t.Fatalf("fail-fast err = %v, want ErrRace", err)
+	}
+	var re *detlock.RaceError
+	if !errors.As(err, &re) {
+		t.Fatalf("no *RaceError in %v", err)
+	}
+	if re.Sym != "shared" {
+		t.Fatalf("race on %q, want shared", re.Sym)
+	}
+	if out := detlock.FormatFailure(err); !strings.Contains(out, "DATA RACE") {
+		t.Fatalf("FormatFailure missing race report:\n%s", out)
+	}
+	// Report-and-continue: the run completes and carries the reports.
+	res, err := detlock.Simulate(m, detlock.SimConfig{
+		Threads:       2,
+		Deterministic: true,
+		Race:          &detlock.RaceConfig{Policy: detlock.RaceReport},
+	})
+	if err != nil {
+		t.Fatalf("report mode: %v", err)
+	}
+	if len(res.Races) != 1 || res.RacesSuppressed != 0 {
+		t.Fatalf("races = %d (suppressed %d), want 1/0", len(res.Races), res.RacesSuppressed)
+	}
+}
+
+func TestSimulateRaceRequiresDeterministic(t *testing.T) {
+	m, err := detlock.ParseProgram(racyProgram)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	_, err = detlock.Simulate(m, detlock.SimConfig{
+		Threads: 2,
+		Race:    &detlock.RaceConfig{Policy: detlock.RaceFailFast},
+	})
+	if !errors.Is(err, detlock.ErrRaceBackend) {
+		t.Fatalf("err = %v, want ErrRaceBackend misuse", err)
+	}
+	var me *detlock.MisuseError
+	if !errors.As(err, &me) || me.ThreadID != -1 {
+		t.Fatalf("want configuration-level *MisuseError, got %v", err)
+	}
+}
+
+func TestSimulateRaceFreeWithDetector(t *testing.T) {
+	m, err := detlock.ParseProgram(testProgram)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	opt := detlock.AllOptimizations()
+	res, err := detlock.Simulate(m, detlock.SimConfig{
+		Threads:       4,
+		Opt:           &opt,
+		Deterministic: true,
+		Race:          &detlock.RaceConfig{Policy: detlock.RaceFailFast},
+	})
+	if err != nil {
+		t.Fatalf("false positive on the lock-protected program: %v", err)
+	}
+	if len(res.Races) != 0 {
+		t.Fatalf("collected %d races", len(res.Races))
+	}
+}
+
+// PerturbSeed moves physical timing but must not move the deterministic
+// schedule (weak determinism under timing perturbation).
+func TestPerturbSeedScheduleInvariant(t *testing.T) {
+	m, err := detlock.ParseProgram(testProgram)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	opt := detlock.AllOptimizations()
+	var refHash uint64
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := detlock.Simulate(m, detlock.SimConfig{
+			Threads:        4,
+			Opt:            &opt,
+			Deterministic:  true,
+			RecordSchedule: true,
+			PerturbSeed:    seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if seed == 0 {
+			refHash = res.Schedule.Hash()
+			continue
+		}
+		if res.Schedule.Hash() != refHash {
+			t.Fatalf("seed %d: schedule hash %016x differs from %016x", seed, res.Schedule.Hash(), refHash)
+		}
+	}
+}
+
+func TestNewScheduleRecordAndGuard(t *testing.T) {
+	s := detlock.NewSchedule()
+	rt := detlock.New(2)
+	if err := rt.RecordSchedule(s); err != nil {
+		t.Fatalf("RecordSchedule: %v", err)
+	}
+	mu := rt.NewMutex()
+	body := func(th *detlock.Thread) {
+		th.Tick(int64(th.ID()) + 1)
+		mu.Lock(th)
+		th.Tick(1)
+		mu.Unlock(th)
+	}
+	if err := rt.Run(body); err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("recorded %d events, want 2", s.Len())
+	}
+	rt2 := detlock.New(2)
+	mu = rt2.NewMutex()
+	if err := rt2.SetReplayGuard(s); err != nil {
+		t.Fatalf("SetReplayGuard: %v", err)
+	}
+	if err := rt2.Run(body); err != nil {
+		t.Fatalf("faithful replay flagged: %v", err)
+	}
+	// A third runtime with a different clock profile diverges, typed.
+	rt3 := detlock.New(2)
+	mu = rt3.NewMutex()
+	if err := rt3.SetReplayGuard(s); err != nil {
+		t.Fatalf("SetReplayGuard: %v", err)
+	}
+	err := rt3.Run(func(th *detlock.Thread) {
+		th.Tick(int64(2-th.ID()) + 1) // inverted tick order flips acquisitions
+		mu.Lock(th)
+		th.Tick(1)
+		mu.Unlock(th)
+	})
+	if !errors.Is(err, detlock.ErrDivergence) {
+		t.Fatalf("err = %v, want ErrDivergence", err)
+	}
+	if out := detlock.FormatFailure(err); !strings.Contains(out, "DIVERGENCE") {
+		t.Fatalf("FormatFailure missing divergence report:\n%s", out)
+	}
+}

@@ -7,6 +7,13 @@
 // them to consumers through a condition variable. The complete event
 // history (allocation offsets included) is identical on every run.
 //
+// The second half demonstrates divergence *detection*: the lock-acquisition
+// schedule of a reference run is recorded with RecordSchedule, a faithful
+// re-run replays cleanly under SetReplayGuard, and a perturbed re-run (one
+// thread's clock profile changed — the observable symptom of a data race
+// under weak determinism) terminates with a typed *DivergenceError naming
+// the first mismatched acquisition.
+//
 //	go run ./examples/replay
 package main
 
@@ -91,6 +98,63 @@ func main() {
 		}
 	}
 	fmt.Println("8 replays produced the identical history ✓")
+	fmt.Println()
+	divergenceDemo()
+}
+
+// divergenceDemo records a reference schedule, replays it cleanly, then
+// forces a divergence and prints the typed report.
+func divergenceDemo() {
+	ladder := func(record, guard *detlock.Schedule, perturb bool) error {
+		rt := detlock.New(3)
+		if record != nil {
+			if err := rt.RecordSchedule(record); err != nil {
+				return err
+			}
+		}
+		if guard != nil {
+			if err := rt.SetReplayGuard(guard); err != nil {
+				return err
+			}
+		}
+		mu := rt.NewMutex()
+		return rt.Run(func(t *detlock.Thread) {
+			for i := 0; i < 4; i++ {
+				tick := int64(t.ID() + 1)
+				if perturb && t.ID() == 1 && i == 2 {
+					// The stand-in for a data race: thread 1's clock profile
+					// changes mid-run, so its acquisitions land elsewhere in
+					// the global order.
+					tick += 5
+				}
+				t.Tick(tick)
+				mu.Lock(t)
+				t.Tick(1)
+				mu.Unlock(t)
+			}
+		})
+	}
+
+	ref := detlock.NewSchedule()
+	if err := ladder(ref, nil, false); err != nil {
+		fmt.Println("reference run failed:", err)
+		return
+	}
+	fmt.Printf("reference schedule recorded: %d acquisitions, hash %016x\n", ref.Len(), ref.Hash())
+
+	if err := ladder(nil, ref, false); err != nil {
+		fmt.Println("UNEXPECTED: faithful replay diverged:", err)
+		return
+	}
+	fmt.Println("faithful re-run replays the reference cleanly ✓")
+
+	err := ladder(nil, ref, true)
+	if err == nil {
+		fmt.Println("UNEXPECTED: perturbed run matched the reference")
+		return
+	}
+	fmt.Println("perturbed re-run caught by the replay guard:")
+	fmt.Println(detlock.FormatFailure(err))
 }
 
 func equal(a, b []string) bool {

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/splash"
+)
+
+// accessProfile returns the per-function multiset of memory accesses as a
+// sorted, comparable slice of "func/op sym xN" lines. Operand registers are
+// deliberately excluded: optimizations may renumber registers, but they must
+// never add, drop, reorder-across-functions or retarget a load or store —
+// the race detector's shadow state is keyed by (symbol, address), so any
+// change here would silently change what the detector observes.
+func accessProfile(m *ir.Module) []string {
+	counts := map[string]int{}
+	for _, fn := range m.Funcs {
+		for _, b := range fn.Blocks {
+			for _, ins := range b.Instrs {
+				switch ins.Op {
+				case ir.OpLoad:
+					counts[fn.Name+"/load "+ins.Sym]++
+				case ir.OpStore:
+					counts[fn.Name+"/store "+ins.Sym]++
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, fmt.Sprintf("%s x%d", k, n))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestInstrumentationPreservesAccesses: across every workload and every
+// optimization preset, the clock-insertion pass preserves the per-function
+// load/store multiset exactly. This is the contract the race detector's
+// instrumentation point in the interpreter relies on.
+func TestInstrumentationPreservesAccesses(t *testing.T) {
+	presets := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"none", core.OptNone},
+		{"O1", core.OptO1},
+		{"O2", core.OptO2},
+		{"O3", core.OptO3},
+		{"O4", core.OptO4},
+		{"all", core.OptAll},
+	}
+	for _, name := range splash.Names() {
+		b, err := splash.New(name, 4)
+		if err != nil {
+			t.Fatalf("splash.New(%s): %v", name, err)
+		}
+		want := accessProfile(b.Module)
+		for _, p := range presets {
+			t.Run(name+"/"+p.name, func(t *testing.T) {
+				m := b.Module.Clone()
+				opt := p.opt
+				opt.Roots = []string{b.Entry}
+				if _, err := core.Instrument(m, nil, nil, opt); err != nil {
+					t.Fatalf("instrument: %v", err)
+				}
+				got := accessProfile(m)
+				if len(got) != len(want) {
+					t.Fatalf("access profile size changed: %d entries, want %d\ngot:  %v\nwant: %v",
+						len(got), len(want), got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("access profile[%d] = %q, want %q", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -99,6 +99,7 @@ func (m *Mutex) take(t *Thread, newClock int64) {
 	t.lastAcqRes = m.name()
 	t.lastAcqClock = newClock
 	m.rt.acquisitions.Add(1)
+	m.rt.onAcquisitionLocked(m.id, t.id, newClock)
 	if m.observer != nil {
 		m.observer(t.id, newClock)
 	}

@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/diag"
+	"repro/internal/trace"
 )
 
 // Runtime coordinates a set of deterministic threads.
@@ -91,6 +92,18 @@ type Runtime struct {
 	watchdog *WatchdogConfig
 	// injector, when non-nil, perturbs lock boundaries (test-only).
 	injector *FaultInjector
+
+	// running marks an active Run; detector configuration (RecordSchedule,
+	// SetReplayGuard) is rejected mid-run with a typed misuse error.
+	// Guarded by mu.
+	running bool
+	// recordTo, when non-nil, receives every lock acquisition. Guarded by mu.
+	recordTo *trace.Schedule
+	// replay/replayIdx/replayArmed implement the schedule-divergence guard
+	// (see divergence.go). Guarded by mu.
+	replay      []trace.Event
+	replayIdx   int
+	replayArmed bool
 }
 
 // blockKind says what a blocked thread is waiting on.
@@ -190,6 +203,7 @@ func (rt *Runtime) Acquisitions() int64 { return rt.acquisitions.Load() }
 func (rt *Runtime) Run(body func(t *Thread)) error {
 	var wg sync.WaitGroup
 	rt.mu.Lock()
+	rt.running = true
 	threads := append([]*Thread(nil), rt.threads...)
 	rt.mu.Unlock()
 	stopWatchdog, grace := rt.startWatchdog()
@@ -216,6 +230,10 @@ func (rt *Runtime) Run(body func(t *Thread)) error {
 		}
 	}
 	stopWatchdog()
+	rt.mu.Lock()
+	rt.running = false
+	rt.checkReplayCompleteLocked()
+	rt.mu.Unlock()
 	return rt.Err()
 }
 

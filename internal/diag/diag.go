@@ -46,6 +46,20 @@ var (
 	ErrNegativeTick = errors.New("negative Tick amount")
 	// ErrInjected tags failures produced by the fault-injection harness.
 	ErrInjected = errors.New("injected fault")
+	// ErrRace: two threads touched the same address without ordering
+	// synchronization — the one program state that silently voids weak
+	// determinism. Concrete reports are *RaceError.
+	ErrRace = errors.New("data race: conflicting unsynchronized accesses")
+	// ErrDivergence: a run's synchronization order differs from the
+	// reference schedule — the observable symptom of an undetected race (or
+	// nondeterministic input). Concrete reports are *DivergenceError.
+	ErrDivergence = errors.New("schedule divergence: synchronization order differs from the reference run")
+	// ErrDetectorMidRun: a detector (race detector, replay guard, schedule
+	// recorder) was enabled or disabled while the runtime was running.
+	ErrDetectorMidRun = errors.New("detector configuration changed mid-run")
+	// ErrRaceBackend: race detection requested on a backend that cannot
+	// provide it (only the deterministic simulator instruments accesses).
+	ErrRaceBackend = errors.New("race detection requires the deterministic simulator backend")
 )
 
 // ThreadSnapshot is one thread's state at the moment a failure report was
@@ -184,7 +198,12 @@ type MisuseError struct {
 }
 
 func (e *MisuseError) Error() string {
-	s := fmt.Sprintf("%s: %v (thread %d, clock %d)", e.Op, e.Kind, e.ThreadID, e.Clock)
+	ctx := fmt.Sprintf("thread %d, clock %d", e.ThreadID, e.Clock)
+	if e.ThreadID < 0 {
+		// Configuration-level misuse happens outside any thread.
+		ctx = "configuration"
+	}
+	s := fmt.Sprintf("%s: %v (%s)", e.Op, e.Kind, ctx)
 	if e.Detail != "" {
 		s += ": " + e.Detail
 	}
@@ -193,3 +212,103 @@ func (e *MisuseError) Error() string {
 
 // Unwrap classifies the error by its Kind sentinel.
 func (e *MisuseError) Unwrap() error { return e.Kind }
+
+// RaceAccess is one side of a data race: which thread touched the address,
+// whether it wrote, its vector clock at the access, the locks it held, and
+// the IR site. All fields are deterministic functions of the program.
+type RaceAccess struct {
+	Thread int
+	Write  bool
+	// Clock is the accessor's own vector-clock component at the access (its
+	// per-thread epoch).
+	Clock int64
+	// VC is the accessor's full vector clock at the access.
+	VC []int64
+	// Lockset lists the lock ids held at the access, ascending.
+	Lockset []int
+	// Site identifies the access instruction, "func.block+pc".
+	Site string
+}
+
+func (a RaceAccess) String() string {
+	kind := "read"
+	if a.Write {
+		kind = "write"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s by thread %d at clock %d", kind, a.Thread, a.Clock)
+	if a.Site != "" {
+		fmt.Fprintf(&sb, " (%s)", a.Site)
+	}
+	if len(a.Lockset) == 0 {
+		sb.WriteString(" holding no locks")
+	} else {
+		sb.WriteString(" holding")
+		for _, l := range a.Lockset {
+			fmt.Fprintf(&sb, " mutex#%d", l)
+		}
+	}
+	return sb.String()
+}
+
+// RaceError reports a data race: two accesses to the same address, at least
+// one a write, with no happens-before ordering and no common lock. First and
+// Second are ordered by thread id (racing accesses are always on distinct
+// threads), making the report canonical — the same race renders identically
+// regardless of which interleaving the detector observed it under.
+type RaceError struct {
+	// Sym and Index name the accessed global slot; Addr is its flat address.
+	Sym   string
+	Index int64
+	Addr  int64
+
+	First, Second RaceAccess
+}
+
+func (e *RaceError) Error() string {
+	return fmt.Sprintf("%v on %s[%d] (addr %d): %s vs %s",
+		ErrRace, e.Sym, e.Index, e.Addr, e.First, e.Second)
+}
+
+// Unwrap classifies the error as ErrRace.
+func (e *RaceError) Unwrap() error { return ErrRace }
+
+// DivergenceEvent is one synchronization event inside a divergence report
+// (mirrors trace.Event without importing it — diag is the dependency root).
+type DivergenceEvent struct {
+	Seq    int64
+	Lock   int
+	Thread int
+	Clock  int64
+}
+
+func (e DivergenceEvent) String() string {
+	return fmt.Sprintf("lock %d by thread %d at clock %d", e.Lock, e.Thread, e.Clock)
+}
+
+// DivergenceError reports the first point where a run's synchronization
+// schedule differs from the reference (run 0, or a recorded schedule being
+// replayed). Want/Got are nil when one schedule is a strict prefix of the
+// other (length mismatch).
+type DivergenceError struct {
+	// Run is the index of the diverging run; the reference is run 0.
+	Run int
+	// Index is the first mismatched event position.
+	Index int
+	// Want is the reference event, Got the observed one.
+	Want, Got *DivergenceEvent
+	// WantLen/GotLen are the schedule lengths (length-mismatch context).
+	WantLen, GotLen int
+}
+
+func (e *DivergenceError) Error() string {
+	if e.Want == nil || e.Got == nil {
+		return fmt.Sprintf("%v: run %d diverges from run 0 at event %d: length mismatch (%d vs %d events)",
+			ErrDivergence, e.Run, e.Index, e.WantLen, e.GotLen)
+	}
+	return fmt.Sprintf("%v: run %d diverges from run 0 at event %d: want %s, got %s",
+		ErrDivergence, e.Run, e.Index, e.Want, e.Got)
+}
+
+// Unwrap classifies the error as ErrDivergence.
+func (e *DivergenceError) Unwrap() error { return ErrDivergence }

@@ -78,3 +78,64 @@ func TestSnapshotString(t *testing.T) {
 		}
 	}
 }
+
+func TestRaceErrorClassification(t *testing.T) {
+	re := &RaceError{
+		Sym: "shared", Index: 3, Addr: 19,
+		First:  RaceAccess{Thread: 0, Write: true, Clock: 5, Lockset: []int{1}, Site: "main.entry+2"},
+		Second: RaceAccess{Thread: 2, Write: false, Clock: 4, Site: "main.loop+0"},
+	}
+	if !errors.Is(re, ErrRace) {
+		t.Fatalf("race error must classify as ErrRace")
+	}
+	if errors.Is(re, ErrDeadlock) {
+		t.Fatalf("race error must not classify as deadlock")
+	}
+	msg := re.Error()
+	for _, want := range []string{
+		"shared[3]", "addr 19",
+		"write by thread 0 at clock 5", "holding mutex#1",
+		"read by thread 2 at clock 4", "holding no locks",
+		"main.entry+2", "main.loop+0",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestDivergenceErrorForms(t *testing.T) {
+	mismatch := &DivergenceError{
+		Run: 2, Index: 7,
+		Want:    &DivergenceEvent{Seq: 7, Lock: 1, Thread: 0, Clock: 31},
+		Got:     &DivergenceEvent{Seq: 7, Lock: 1, Thread: 3, Clock: 29},
+		WantLen: 12, GotLen: 8,
+	}
+	if !errors.Is(mismatch, ErrDivergence) {
+		t.Fatalf("divergence error must classify as ErrDivergence")
+	}
+	msg := mismatch.Error()
+	for _, want := range []string{"run 2 diverges from run 0", "event 7", "lock 1 by thread 0 at clock 31", "lock 1 by thread 3 at clock 29"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	underrun := &DivergenceError{Run: 1, Index: 4, Want: &DivergenceEvent{Seq: 4, Lock: 0, Thread: 1, Clock: 9}, WantLen: 6, GotLen: 4}
+	if !strings.Contains(underrun.Error(), "length mismatch (6 vs 4 events)") {
+		t.Fatalf("underrun Error() = %q", underrun.Error())
+	}
+}
+
+func TestMisuseErrorConfigurationForm(t *testing.T) {
+	me := &MisuseError{Op: "Runtime.RecordSchedule", ThreadID: -1, Kind: ErrDetectorMidRun, Detail: "toggled mid-run"}
+	if !errors.Is(me, ErrDetectorMidRun) {
+		t.Fatalf("must classify as ErrDetectorMidRun")
+	}
+	msg := me.Error()
+	if !strings.Contains(msg, "configuration") {
+		t.Fatalf("Error() = %q, want configuration form (no bogus thread id)", msg)
+	}
+	if strings.Contains(msg, "thread -1") {
+		t.Fatalf("Error() = %q leaks the -1 thread id", msg)
+	}
+}

@@ -79,6 +79,11 @@ type Runner struct {
 	KendoChunks []int64
 	// RecordTraces enables acquisition traces on every run.
 	RecordTraces bool
+	// RaceCheck enables the fail-fast data-race detector on deterministic
+	// runs (ModeDet and ModeKendo). Baseline modes are unaffected: their
+	// FCFS schedules make race reports unreproducible, so the detector
+	// stays off there.
+	RaceCheck bool
 }
 
 // NewRunner returns a runner with the paper's defaults (4 threads).
@@ -118,13 +123,17 @@ func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChun
 		cfg.Mode = interp.ModeKendo
 		cfg.KendoChunkSize = kendoChunk
 	}
+	deterministic := mode == ModeDet || mode == ModeKendo
+	if r.RaceCheck && deterministic {
+		cfg.Race = &interp.RaceConfig{Policy: interp.RaceFailFast}
+	}
 	mach, threads, err := interp.NewMachine(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}
 
 	policy := sim.PolicyFCFS
-	if mode == ModeDet || mode == ModeKendo {
+	if deterministic {
 		policy = sim.PolicyDet
 	}
 	eng := sim.New(sim.Config{
@@ -132,6 +141,7 @@ func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChun
 		NumLocks:    m.NumLocks,
 		NumBarriers: m.NumBars,
 		RecordTrace: r.RecordTraces,
+		Observer:    mach.Observer(),
 	}, interp.Programs(threads))
 	stats, err := eng.Run()
 	if err != nil {

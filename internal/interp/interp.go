@@ -69,6 +69,24 @@ type Config struct {
 	// disable. Defaults: rate 32/256, penalty 10.
 	MissRate    int64
 	MissPenalty int64
+
+	// Race, when non-nil, enables deterministic data-race detection: every
+	// load/store is checked against a vector-clock shadow memory whose
+	// clocks the engine advances at sync events (wire Machine.Observer into
+	// sim.Config.Observer). When nil — the default — the interpreter hot
+	// loop pays a single pointer test and allocates nothing.
+	Race *RaceConfig
+
+	// JitterSeed/JitterAmp perturb *physical* timing only: each engine step
+	// gains a deterministic pseudo-random 0..JitterAmp extra cycles derived
+	// from (seed, thread id). Logical clocks are untouched, so under the
+	// deterministic policy the synchronization schedule — and any race or
+	// failure report — must be identical across seeds; the robustness
+	// property tests assert exactly that (the simulator-side analog of
+	// internal/det's FaultInjector). JitterSeed 0 disables; JitterAmp
+	// defaults to 16 when a seed is set.
+	JitterSeed int64
+	JitterAmp  int64
 }
 
 // Machine holds the state shared by all simulated threads of one run:
@@ -84,6 +102,9 @@ type Machine struct {
 	// spawned collects dynamically created threads so callers can read
 	// their outputs after the run.
 	spawned []*Thread
+
+	// race is the optional data-race detector; nil when disabled.
+	race *RaceDetector
 
 	// Stats.
 	InstrsExecuted int64
@@ -140,6 +161,9 @@ func NewMachine(cfg Config) (*Machine, []*Thread, error) {
 	if cfg.MissPenalty == 0 {
 		cfg.MissPenalty = 10
 	}
+	if cfg.JitterSeed != 0 && cfg.JitterAmp == 0 {
+		cfg.JitterAmp = 16
+	}
 	entry := cfg.Module.Func(cfg.Entry)
 	if entry == nil {
 		return nil, nil, fmt.Errorf("interp: entry function %q not found", cfg.Entry)
@@ -165,6 +189,9 @@ func NewMachine(cfg Config) (*Machine, []*Thread, error) {
 		m.globals[g.Name] = buf
 		m.baseOff[g.Name] = off
 		off += g.Size
+	}
+	if cfg.Race != nil {
+		m.race = newRaceDetector(*cfg.Race, cfg.Module, cfg.Threads)
 	}
 	var threads []*Thread
 	for i := 0; i < cfg.Threads; i++ {
@@ -208,6 +235,10 @@ type Thread struct {
 	// kendoAccum counts weighted retired instructions since the last Kendo
 	// counter overflow.
 	kendoAccum int64
+
+	// jitterState is the per-thread xorshift state for physical-timing
+	// perturbation (Config.JitterSeed); 0 means not yet initialized.
+	jitterState uint64
 
 	// Output is the deterministic print log.
 	Output []int64
@@ -263,8 +294,33 @@ func (t *Thread) setReg(r ir.Reg, v int64) {
 }
 
 // Step executes instructions until a yield point: a clock update, a sync
-// operation, completion, or the per-step cycle bound.
+// operation, completion, or the per-step cycle bound. With jitter enabled
+// the yielded span gains deterministic extra physical cycles — never a
+// logical-clock change, so deterministic schedules are jitter-invariant.
 func (t *Thread) Step() (sim.Step, error) {
+	st, err := t.step()
+	if err == nil && t.mach.cfg.JitterAmp > 0 {
+		st.Cycles += t.nextJitter()
+	}
+	return st, err
+}
+
+// nextJitter draws the next perturbation from the thread's xorshift stream,
+// seeded from (JitterSeed, tid) so it depends only on configuration.
+func (t *Thread) nextJitter() int64 {
+	if t.jitterState == 0 {
+		t.jitterState = uint64(t.mach.cfg.JitterSeed)*0x9E3779B97F4A7C15 +
+			uint64(t.tid)*2654435761 + 1
+	}
+	v := t.jitterState
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	t.jitterState = v
+	return int64(v % uint64(t.mach.cfg.JitterAmp+1))
+}
+
+func (t *Thread) step() (sim.Step, error) {
 	if t.done {
 		return sim.Step{}, errors.New("step on finished thread")
 	}
@@ -378,6 +434,11 @@ func (t *Thread) execInstr(ins *ir.Instr, cycles *int64) (sim.Step, bool, error)
 			return sim.Step{}, false, t.errf("load %s[%d] out of bounds (size %d)", ins.Sym, idx, len(buf))
 		}
 		*cycles += t.mach.missCycles(ins.Sym, idx)
+		if t.mach.race != nil {
+			if err := t.raceAccess(ins, idx, false); err != nil {
+				return sim.Step{}, false, err
+			}
+		}
 		t.setReg(ins.Dst, buf[idx])
 	case ir.OpStore:
 		buf := t.mach.globals[ins.Sym]
@@ -386,6 +447,11 @@ func (t *Thread) execInstr(ins *ir.Instr, cycles *int64) (sim.Step, bool, error)
 			return sim.Step{}, false, t.errf("store %s[%d] out of bounds (size %d)", ins.Sym, idx, len(buf))
 		}
 		*cycles += t.mach.missCycles(ins.Sym, idx)
+		if t.mach.race != nil {
+			if err := t.raceAccess(ins, idx, true); err != nil {
+				return sim.Step{}, false, err
+			}
+		}
 		buf[idx] = t.val(ins.B)
 		t.mach.StoresRetired++
 	case ir.OpCall:

@@ -1,0 +1,413 @@
+package interp
+
+// Deterministic data-race detection for the weak-determinism contract.
+//
+// DetLock (like Kendo) guarantees a reproducible lock order only for
+// race-free programs: one unsynchronized conflicting access silently voids
+// the guarantee. The detector below turns that silent state into a typed,
+// reproducible diag.RaceError. It is a FastTrack-style happens-before
+// checker — per-thread vector clocks advanced at the engine's
+// synchronization events (lock acquire/release, barrier, spawn/join) and a
+// shadow word per global address — with a lockset pre-filter: two accesses
+// that share a held lock are serialized by that lock's critical sections,
+// and the release→acquire clock join orders them, so the (cheap) lockset
+// intersection skips the vector-clock comparison entirely.
+//
+// Because the engine itself is deterministic, detection is too: unlike a
+// native race detector, the same program produces the *same* RaceError —
+// same access pair, same logical clocks, same locksets — on every run, even
+// under physical-timing perturbation (Config.JitterSeed), which the
+// property tests exploit. Reports are canonicalized (pair ordered by thread
+// id, one report per address) so they are diffable artifacts.
+
+import (
+	"fmt"
+
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// RacePolicy selects what happens when a race is detected.
+type RacePolicy uint8
+
+// Race policies.
+const (
+	// RaceFailFast aborts the run at the first race: the simulation returns
+	// the *diag.RaceError.
+	RaceFailFast RacePolicy = iota
+	// RaceReport records races (deterministically capped at MaxReports) and
+	// lets the run finish; read them from Machine.Races.
+	RaceReport
+)
+
+// RaceConfig enables and tunes the detector.
+type RaceConfig struct {
+	Policy RacePolicy
+	// MaxReports caps collected reports under RaceReport (further races are
+	// counted, not stored). 0 means the default of 100.
+	MaxReports int
+}
+
+// raceEpoch is one remembered access in the shadow memory.
+type raceEpoch struct {
+	tid   int
+	write bool
+	// clock is the accessor's own vector-clock component at the access.
+	clock int64
+	// vc is the accessor's vector clock at the access; the buffer is owned
+	// by the shadow cell and reused across updates.
+	vc []int64
+	// lockset is the accessor's held-lock snapshot: an immutable slice
+	// shared with the detector's per-thread intern (never mutated in place).
+	lockset []int
+	// fn/block/pc identify the IR access site; formatting is deferred to
+	// report time so the hot path does no string work.
+	fn, block string
+	pc        int
+}
+
+// shadowCell is the per-address detector state: the last write plus the
+// reads concurrent with it (one entry per thread).
+type shadowCell struct {
+	hasWrite bool
+	write    raceEpoch
+	reads    []raceEpoch
+	// poisoned suppresses further reports for this address: one race per
+	// address keeps reports canonical and bounded.
+	poisoned bool
+}
+
+// RaceDetector tracks happens-before across one machine's threads. It
+// implements sim.SyncObserver; the engine drives the clock updates, the
+// interpreter drives the access checks.
+type RaceDetector struct {
+	cfg RaceConfig
+
+	// vcs[t] is thread t's vector clock; vcs[t][t] is its epoch.
+	vcs [][]int64
+	// locksets[t] is thread t's held-lock snapshot, sorted ascending. Each
+	// acquire/release builds a fresh slice so stored references stay valid.
+	locksets [][]int
+	// lockRel[l] is the vector clock of lock l's last release.
+	lockRel [][]int64
+	// shadow is indexed by flat global address (Machine.baseOff + index).
+	shadow []shadowCell
+
+	races      []*diag.RaceError
+	suppressed int
+}
+
+// newRaceDetector sizes the detector for a machine: one shadow cell per
+// global word, one release clock per lock, one vector clock per initial
+// thread (spawned threads are added by the Spawned hook).
+func newRaceDetector(cfg RaceConfig, mod *ir.Module, threads int) *RaceDetector {
+	if cfg.MaxReports <= 0 {
+		cfg.MaxReports = 100
+	}
+	var words int64
+	for _, g := range mod.Globals {
+		words += g.Size
+	}
+	d := &RaceDetector{
+		cfg:     cfg,
+		lockRel: make([][]int64, mod.NumLocks),
+		shadow:  make([]shadowCell, words),
+	}
+	for t := 0; t < threads; t++ {
+		d.addThread(t)
+	}
+	return d
+}
+
+// addThread registers thread ids up to and including tid with fresh clocks.
+func (d *RaceDetector) addThread(tid int) {
+	for len(d.vcs) <= tid {
+		t := len(d.vcs)
+		vc := make([]int64, t+1)
+		vc[t] = 1
+		d.vcs = append(d.vcs, vc)
+		d.locksets = append(d.locksets, nil)
+	}
+}
+
+// vcAt reads component i of a (variable-width) vector clock.
+func vcAt(vc []int64, i int) int64 {
+	if i < len(vc) {
+		return vc[i]
+	}
+	return 0
+}
+
+// vcJoin merges src into dst component-wise (dst := dst ⊔ src).
+func vcJoin(dst []int64, src []int64) []int64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+	return dst
+}
+
+// vcCopy copies src into the (possibly reused) buffer dst.
+func vcCopy(dst []int64, src []int64) []int64 {
+	dst = append(dst[:0], src...)
+	return dst
+}
+
+// locksetsIntersect reports whether two sorted lock-id slices share a lock.
+func locksetsIntersect(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// --- sim.SyncObserver: clock updates at synchronization events -------------
+
+// Acquired: the acquirer inherits everything that happened before the
+// lock's last release (the release→acquire edge).
+func (d *RaceDetector) Acquired(thread, lock int) {
+	d.addThread(thread)
+	if lock >= len(d.lockRel) {
+		grown := make([][]int64, lock+1)
+		copy(grown, d.lockRel)
+		d.lockRel = grown
+	}
+	d.vcs[thread] = vcJoin(d.vcs[thread], d.lockRel[lock])
+	// Fresh sorted snapshot; the old slice may be referenced from epochs.
+	old := d.locksets[thread]
+	ls := make([]int, 0, len(old)+1)
+	inserted := false
+	for _, l := range old {
+		if !inserted && lock < l {
+			ls = append(ls, lock)
+			inserted = true
+		}
+		if l != lock {
+			ls = append(ls, l)
+		}
+	}
+	if !inserted {
+		ls = append(ls, lock)
+	}
+	d.locksets[thread] = ls
+}
+
+// Released: the lock remembers the releaser's clock, and the releaser
+// starts a new epoch so later same-thread accesses are not confused with
+// pre-release ones.
+func (d *RaceDetector) Released(thread, lock int) {
+	d.addThread(thread)
+	if lock >= len(d.lockRel) {
+		grown := make([][]int64, lock+1)
+		copy(grown, d.lockRel)
+		d.lockRel = grown
+	}
+	d.lockRel[lock] = vcCopy(d.lockRel[lock], d.vcs[thread])
+	d.vcs[thread][thread]++
+	old := d.locksets[thread]
+	ls := make([]int, 0, len(old))
+	for _, l := range old {
+		if l != lock {
+			ls = append(ls, l)
+		}
+	}
+	d.locksets[thread] = ls
+}
+
+// BarrierReleased: every participant happens-before every participant's
+// post-barrier code — all clocks join, then each starts a new epoch.
+func (d *RaceDetector) BarrierReleased(threads []int) {
+	var joint []int64
+	for _, t := range threads {
+		d.addThread(t)
+		joint = vcJoin(joint, d.vcs[t])
+	}
+	for _, t := range threads {
+		d.vcs[t] = vcCopy(d.vcs[t], joint)
+		d.vcs[t][t]++
+	}
+}
+
+// Spawned: the child inherits the parent's history; the parent ticks so the
+// spawn point separates its pre- and post-spawn epochs.
+func (d *RaceDetector) Spawned(parent, child int) {
+	d.addThread(parent)
+	d.addThread(child)
+	d.vcs[child] = vcJoin(d.vcs[child], d.vcs[parent])
+	d.vcs[parent][parent]++
+}
+
+// Joined: the waiter inherits everything the target did.
+func (d *RaceDetector) Joined(waiter, target int) {
+	d.addThread(waiter)
+	d.addThread(target)
+	d.vcs[waiter] = vcJoin(d.vcs[waiter], d.vcs[target])
+	d.vcs[waiter][waiter]++
+}
+
+// --- access checking --------------------------------------------------------
+
+// racesWith reports whether the remembered access prev conflicts with the
+// current access by tid: no common lock (the cheap pre-filter — a shared
+// lock serializes the critical sections and the release→acquire join orders
+// them) and no happens-before edge (prev's epoch not covered by tid's
+// clock). Same-thread accesses are always ordered (own components are
+// monotone), so no special case is needed.
+func (d *RaceDetector) racesWith(prev *raceEpoch, tid int) bool {
+	if locksetsIntersect(prev.lockset, d.locksets[tid]) {
+		return false
+	}
+	return prev.clock > vcAt(d.vcs[tid], prev.tid)
+}
+
+// access checks one load (write=false) or store (write=true) of sym[idx] at
+// flat address addr, executed by tid at IR site fn.block+pc. It returns a
+// non-nil *diag.RaceError only under RaceFailFast.
+func (d *RaceDetector) access(tid int, sym string, idx, addr int64, write bool, fn, block string, pc int) error {
+	cell := &d.shadow[addr]
+	if tid >= len(d.vcs) {
+		d.addThread(tid)
+	}
+	var report *raceEpoch
+	if !cell.poisoned {
+		if cell.hasWrite && d.racesWith(&cell.write, tid) {
+			report = &cell.write
+		}
+		if report == nil && write {
+			// A write also conflicts with concurrent reads; scan in thread
+			// order so the reported pair is canonical.
+			for i := range cell.reads {
+				r := &cell.reads[i]
+				if (report == nil || r.tid < report.tid) && d.racesWith(r, tid) {
+					report = r
+				}
+			}
+		}
+	}
+	var failErr error
+	if report != nil {
+		re := d.buildReport(sym, idx, addr, report, tid, write, fn, block, pc)
+		cell.poisoned = true
+		if d.cfg.Policy == RaceFailFast {
+			failErr = re
+		} else if len(d.races) < d.cfg.MaxReports {
+			d.races = append(d.races, re)
+		} else {
+			d.suppressed++
+		}
+	}
+	// Update the shadow word (epoch buffers are reused, so the steady-state
+	// enabled path allocates nothing either).
+	me := d.vcs[tid]
+	if write {
+		cell.hasWrite = true
+		cell.write.tid = tid
+		cell.write.write = true
+		cell.write.clock = me[tid]
+		cell.write.vc = vcCopy(cell.write.vc, me)
+		cell.write.lockset = d.locksets[tid]
+		cell.write.fn, cell.write.block, cell.write.pc = fn, block, pc
+		cell.reads = cell.reads[:0]
+		return failErr
+	}
+	for i := range cell.reads {
+		if cell.reads[i].tid == tid {
+			r := &cell.reads[i]
+			r.clock = me[tid]
+			r.vc = vcCopy(r.vc, me)
+			r.lockset = d.locksets[tid]
+			r.fn, r.block, r.pc = fn, block, pc
+			return failErr
+		}
+	}
+	cell.reads = append(cell.reads, raceEpoch{
+		tid: tid, clock: me[tid], vc: append([]int64(nil), me...),
+		lockset: d.locksets[tid], fn: fn, block: block, pc: pc,
+	})
+	return failErr
+}
+
+// buildReport assembles the canonical RaceError: accesses ordered by thread
+// id (racing accesses are never same-thread), data copied out of the reused
+// epoch buffers.
+func (d *RaceDetector) buildReport(sym string, idx, addr int64, prev *raceEpoch, tid int, write bool, fn, block string, pc int) *diag.RaceError {
+	cur := diag.RaceAccess{
+		Thread:  tid,
+		Write:   write,
+		Clock:   d.vcs[tid][tid],
+		VC:      append([]int64(nil), d.vcs[tid]...),
+		Lockset: append([]int(nil), d.locksets[tid]...),
+		Site:    fmt.Sprintf("%s.%s+%d", fn, block, pc),
+	}
+	old := diag.RaceAccess{
+		Thread:  prev.tid,
+		Write:   prev.write,
+		Clock:   prev.clock,
+		VC:      append([]int64(nil), prev.vc...),
+		Lockset: append([]int(nil), prev.lockset...),
+		Site:    fmt.Sprintf("%s.%s+%d", prev.fn, prev.block, prev.pc),
+	}
+	re := &diag.RaceError{Sym: sym, Index: idx, Addr: addr}
+	if old.Thread < cur.Thread {
+		re.First, re.Second = old, cur
+	} else {
+		re.First, re.Second = cur, old
+	}
+	return re
+}
+
+// Races returns the collected reports (RaceReport policy), in detection
+// order — deterministic, since the engine's schedule is.
+func (d *RaceDetector) Races() []*diag.RaceError { return d.races }
+
+// Suppressed counts races detected beyond the MaxReports cap.
+func (d *RaceDetector) Suppressed() int { return d.suppressed }
+
+// raceAccess forwards one memory access to the detector with its IR site
+// (fr.pc was already advanced past the instruction, hence the -1). The
+// returned error is the fail-fast *diag.RaceError, surfaced unwrapped so
+// errors.As sees it through the engine's thread-context wrapper.
+func (t *Thread) raceAccess(ins *ir.Instr, idx int64, write bool) error {
+	fr := t.top()
+	return t.mach.race.access(t.tid, ins.Sym, idx, t.mach.baseOff[ins.Sym]+idx,
+		write, fr.fn.Name, fr.block.Name, fr.pc-1)
+}
+
+// Observer exposes the machine's race detector as a sim.SyncObserver for
+// engine wiring, or nil when detection is disabled.
+func (m *Machine) Observer() sim.SyncObserver {
+	if m.race == nil {
+		return nil
+	}
+	return m.race
+}
+
+// Races returns the race reports collected by the machine's detector (nil
+// when detection is off or no race was found).
+func (m *Machine) Races() []*diag.RaceError {
+	if m.race == nil {
+		return nil
+	}
+	return m.race.races
+}
+
+// RacesSuppressed counts reports dropped by the deterministic cap.
+func (m *Machine) RacesSuppressed() int {
+	if m.race == nil {
+		return 0
+	}
+	return m.race.suppressed
+}

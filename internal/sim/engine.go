@@ -65,6 +65,24 @@ type Program interface {
 	Step() (Step, error)
 }
 
+// SyncObserver receives synchronization events as the engine resolves them,
+// in resolution order. The race detector (package interp) advances its
+// vector clocks here; the hooks fire at the exact points the corresponding
+// happens-before edges are created. Callbacks run synchronously on the
+// engine's (single) thread and must not retain the BarrierReleased slice.
+type SyncObserver interface {
+	// Acquired fires when thread is granted lock (including waiter handoff).
+	Acquired(thread, lock int)
+	// Released fires when thread releases lock, before any handoff grant.
+	Released(thread, lock int)
+	// BarrierReleased fires when a barrier opens, with every participant.
+	BarrierReleased(threads []int)
+	// Spawned fires when parent creates child, before child's first step.
+	Spawned(parent, child int)
+	// Joined fires when waiter's join on target completes.
+	Joined(waiter, target int)
+}
+
 // LockPolicy selects how contended locks are granted.
 type LockPolicy uint8
 
@@ -97,6 +115,8 @@ type Config struct {
 	MaxSteps int64
 	// RecordTrace enables the acquisition trace (lock id, thread, clock).
 	RecordTrace bool
+	// Observer, when non-nil, is notified of every synchronization event.
+	Observer SyncObserver
 }
 
 // Acquisition is one lock grant, for determinism checking.
@@ -483,6 +503,9 @@ func (e *Engine) grant(t *tstate, at int64) {
 			Lock: t.wantLock, Thread: t.id, Clock: t.clock, Phys: t.phys,
 		})
 	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.Acquired(t.id, t.wantLock)
+	}
 }
 
 // unlock releases a lock and hands it to the first queued waiter, if any.
@@ -494,6 +517,9 @@ func (e *Engine) unlock(t *tstate, obj int) {
 	t.phys += e.cfg.UnlockCost
 	if e.cfg.Policy == PolicyDet {
 		t.clock++
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.Released(t.id, obj)
 	}
 	if len(l.waiters) == 0 {
 		l.held = false
@@ -524,6 +550,9 @@ func (e *Engine) unlock(t *tstate, obj int) {
 		e.stats.Trace = append(e.stats.Trace, Acquisition{
 			Lock: obj, Thread: wid, Clock: w.clock, Phys: w.phys,
 		})
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.Acquired(wid, obj)
 	}
 }
 
@@ -558,6 +587,9 @@ func (e *Engine) barrierArrive(t *tstate, obj int) {
 		}
 		w.status = tsRunnable
 	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.BarrierReleased(b.arrived)
+	}
 	b.arrived = nil
 	e.stats.BarrierEpisodes++
 }
@@ -579,6 +611,9 @@ func (e *Engine) spawn(parent *tstate, st Step) {
 	if st.SpawnDst != nil {
 		*st.SpawnDst = int64(id)
 	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.Spawned(parent.id, id)
+	}
 }
 
 // join blocks t until thread target finishes; invalid targets panic (a
@@ -592,6 +627,9 @@ func (e *Engine) join(t *tstate, target int) {
 		t.phys = maxI64(t.phys, tgt.phys)
 		if e.cfg.Policy == PolicyDet {
 			t.clock = maxI64(t.clock, tgt.clock) + 1
+		}
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.Joined(t.id, target)
 		}
 		return
 	}
@@ -614,6 +652,9 @@ func (e *Engine) settleJoiners(done *tstate) {
 			t.clock = maxI64(t.clock, done.clock) + 1
 		}
 		t.status = tsRunnable
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.Joined(t.id, done.id)
+		}
 	}
 }
 

@@ -1,0 +1,55 @@
+package splash
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// RaceProbeSym names the global the injected race probe touches; race
+// reports on this symbol come from the probe, not the workload.
+const RaceProbeSym = "race_probe"
+
+// InjectRaceProbe plants a deterministic data race at the head of entry:
+// threads 0 and 1 both store to race_probe[0] with no ordering
+// synchronization (a write-write race), while every other thread stores to
+// its own private slot. The injection is branch-free — four straight-line
+// instructions computed from tid —
+//
+//	rT = tid
+//	rC = ge rT, 2          // 0 for the racing pair, 1 otherwise
+//	rI = mul rC, rT        // index 0 for threads 0 and 1, tid otherwise
+//	store race_probe[rI], rT
+//
+// so the workload's CFG, and therefore its instrumentation and schedule,
+// are untouched apart from the four extra instructions. Both racing
+// accesses execute before the program's first synchronization event, so the
+// reported vector clocks are the initial per-thread epochs — independent of
+// seed, interleaving, and physical-timing jitter. The robustness property
+// tests use exactly this invariance.
+//
+// The probe is sized for up to 64 threads. The module is modified in place
+// (clone first when the pristine workload is still needed).
+func InjectRaceProbe(m *ir.Module, entry string) (string, error) {
+	fn := m.Func(entry)
+	if fn == nil {
+		return "", fmt.Errorf("splash: race probe: entry function %q not found", entry)
+	}
+	eb := fn.Entry()
+	if eb == nil {
+		return "", fmt.Errorf("splash: race probe: entry function %q has no blocks", entry)
+	}
+	m.AddGlobal(RaceProbeSym, 64)
+	rT := ir.Reg(fn.NumRegs)
+	rC := ir.Reg(fn.NumRegs + 1)
+	rI := ir.Reg(fn.NumRegs + 2)
+	fn.NumRegs += 3
+	probe := []ir.Instr{
+		{Op: ir.OpTid, Dst: rT},
+		{Op: ir.OpGE, Dst: rC, A: ir.R(rT), B: ir.Imm(2)},
+		{Op: ir.OpMul, Dst: rI, A: ir.R(rC), B: ir.R(rT)},
+		{Op: ir.OpStore, Sym: RaceProbeSym, A: ir.R(rI), B: ir.R(rT)},
+	}
+	eb.Instrs = append(probe, eb.Instrs...)
+	return RaceProbeSym, nil
+}

@@ -1,0 +1,114 @@
+package splash_test
+
+import (
+	"errors"
+	"testing"
+
+	detlock "repro"
+	"repro/internal/splash"
+)
+
+// probeReport runs one probe-injected workload under the deterministic
+// simulator with the race detector in report mode and returns the rendered
+// report of the probe's race (rendering includes threads, clocks, vector
+// clocks, locksets and sites, so string equality is full structural
+// equality).
+func probeReport(t *testing.T, b *splash.Benchmark, seed int64) string {
+	t.Helper()
+	m := b.Module.Clone()
+	sym, err := splash.InjectRaceProbe(m, b.Entry)
+	if err != nil {
+		t.Fatalf("InjectRaceProbe: %v", err)
+	}
+	opt := detlock.AllOptimizations()
+	res, err := detlock.Simulate(m, detlock.SimConfig{
+		Threads:       b.Threads,
+		Entry:         b.Entry,
+		Opt:           &opt,
+		Deterministic: true,
+		Race:          &detlock.RaceConfig{Policy: detlock.RaceReport},
+		PerturbSeed:   seed,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	var probe []*detlock.RaceError
+	for _, re := range res.Races {
+		if re.Sym == sym {
+			probe = append(probe, re)
+		}
+	}
+	if len(probe) != 1 {
+		t.Fatalf("seed %d: %d probe races, want exactly 1 (one report per address)", seed, len(probe))
+	}
+	re := probe[0]
+	if re.Index != 0 || re.First.Thread != 0 || re.Second.Thread != 1 {
+		t.Fatalf("seed %d: probe race %s[%d] between threads %d and %d, want slot 0 threads 0/1",
+			seed, re.Sym, re.Index, re.First.Thread, re.Second.Thread)
+	}
+	if !errors.Is(re, detlock.ErrRace) {
+		t.Fatalf("seed %d: report does not classify as ErrRace", seed)
+	}
+	return detlock.FormatFailure(re)
+}
+
+// TestRaceProbeDeterministicAcrossPerturbation is the acceptance property:
+// an injected race in each SPLASH-like workload yields a byte-identical
+// typed race report — same access pair, same logical clocks, same sites —
+// across an unperturbed run and >= 20 physical-timing fault-injection seeds.
+func TestRaceProbeDeterministicAcrossPerturbation(t *testing.T) {
+	for _, name := range splash.Names() {
+		t.Run(name, func(t *testing.T) {
+			b, err := splash.New(name, 4)
+			if err != nil {
+				t.Fatalf("splash.New: %v", err)
+			}
+			ref := probeReport(t, b, 0)
+			for seed := int64(1); seed <= 20; seed++ {
+				if got := probeReport(t, b, seed); got != ref {
+					t.Fatalf("seed %d: report differs:\n%s\nvs reference\n%s", seed, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsRaceFreeWithoutProbe: the pristine workloads pass the
+// fail-fast detector — the probe, not the workload, is the only race the
+// property test sees.
+func TestWorkloadsRaceFreeWithoutProbe(t *testing.T) {
+	for _, name := range splash.Names() {
+		t.Run(name, func(t *testing.T) {
+			b, err := splash.New(name, 4)
+			if err != nil {
+				t.Fatalf("splash.New: %v", err)
+			}
+			opt := detlock.AllOptimizations()
+			res, err := detlock.Simulate(b.Module, detlock.SimConfig{
+				Threads:       b.Threads,
+				Entry:         b.Entry,
+				Opt:           &opt,
+				Deterministic: true,
+				Race:          &detlock.RaceConfig{Policy: detlock.RaceFailFast},
+			})
+			if err != nil {
+				t.Fatalf("workload is racy: %v", err)
+			}
+			if len(res.Races) != 0 {
+				t.Fatalf("workload collected %d races", len(res.Races))
+			}
+		})
+	}
+}
+
+// TestInjectRaceProbeErrors: bad entry names are errors, not panics.
+func TestInjectRaceProbeErrors(t *testing.T) {
+	b, err := splash.New(splash.Names()[0], 2)
+	if err != nil {
+		t.Fatalf("splash.New: %v", err)
+	}
+	m := b.Module.Clone()
+	if _, err := splash.InjectRaceProbe(m, "no-such-entry"); err == nil {
+		t.Fatal("missing entry accepted")
+	}
+}

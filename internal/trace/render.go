@@ -67,9 +67,44 @@ func FormatWatchdog(we *diag.WatchdogError) string {
 	return sb.String()
 }
 
+// FormatRace renders the full data-race report: the address, both accesses
+// with vector clocks and locksets, and the remediation hint.
+func FormatRace(re *diag.RaceError) string {
+	var sb strings.Builder
+	sb.WriteString("DATA RACE: weak determinism voided by unsynchronized accesses\n")
+	fmt.Fprintf(&sb, "address: %s[%d] (flat addr %d)\n", re.Sym, re.Index, re.Addr)
+	for _, a := range []diag.RaceAccess{re.First, re.Second} {
+		fmt.Fprintf(&sb, "  %s\n", a)
+		if len(a.VC) > 0 {
+			fmt.Fprintf(&sb, "    vector clock: %v\n", a.VC)
+		}
+	}
+	sb.WriteString("the accesses share no lock and neither happens-before the other;\n")
+	sb.WriteString("the deterministic schedule reproduces this report on every run\n")
+	return sb.String()
+}
+
+// FormatDivergence renders a schedule-divergence report.
+func FormatDivergence(de *diag.DivergenceError) string {
+	var sb strings.Builder
+	sb.WriteString("DIVERGENCE: synchronization order differs from the reference run\n")
+	if de.Want == nil || de.Got == nil {
+		fmt.Fprintf(&sb, "run %d has %d event(s), reference has %d: diverges at event %d\n",
+			de.Run, de.GotLen, de.WantLen, de.Index)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "run %d, event %d:\n", de.Run, de.Index)
+	fmt.Fprintf(&sb, "  expected: %s\n", de.Want)
+	fmt.Fprintf(&sb, "  observed: %s\n", de.Got)
+	sb.WriteString("a divergence means an input changed or a data race corrupted a clock;\n")
+	sb.WriteString("run the simulator backend with race detection to locate the access pair\n")
+	return sb.String()
+}
+
 // FormatFailure renders any runtime failure error — deadlock, watchdog
-// stall, contained panic, misuse — into the full diagnostic report; other
-// errors render as their Error() string. Joined errors render every part.
+// stall, contained panic, misuse, data race, schedule divergence — into the
+// full diagnostic report; other errors render as their Error() string.
+// Joined errors render every part.
 func FormatFailure(err error) string {
 	if err == nil {
 		return "ok"
@@ -82,6 +117,14 @@ func FormatFailure(err error) string {
 	var we *diag.WatchdogError
 	if errors.As(err, &we) {
 		parts = append(parts, FormatWatchdog(we))
+	}
+	var re *diag.RaceError
+	if errors.As(err, &re) {
+		parts = append(parts, FormatRace(re))
+	}
+	var de *diag.DivergenceError
+	if errors.As(err, &de) {
+		parts = append(parts, FormatDivergence(de))
 	}
 	var pe *diag.ThreadPanicError
 	if errors.As(err, &pe) {

@@ -77,3 +77,37 @@ func TestFormatFailureDispatch(t *testing.T) {
 		t.Fatalf("nil = %q", out)
 	}
 }
+
+func TestFormatRaceReport(t *testing.T) {
+	re := &diag.RaceError{
+		Sym: "shared", Index: 0, Addr: 12,
+		First:  diag.RaceAccess{Thread: 0, Write: true, Clock: 1, VC: []int64{1, 0}, Site: "main.entry+3"},
+		Second: diag.RaceAccess{Thread: 1, Write: true, Clock: 1, VC: []int64{0, 1}, Lockset: []int{2}, Site: "main.entry+3"},
+	}
+	out := FormatFailure(fmt.Errorf("sim: thread 1: %w", re))
+	for _, want := range []string{"DATA RACE", "shared[0]", "thread 0", "thread 1", "[1 0]", "[0 1]", "main.entry+3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("race report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDivergenceReport(t *testing.T) {
+	de := &diag.DivergenceError{
+		Run: 1, Index: 5,
+		Want:    &diag.DivergenceEvent{Seq: 5, Lock: 0, Thread: 2, Clock: 17},
+		Got:     &diag.DivergenceEvent{Seq: 5, Lock: 0, Thread: 1, Clock: 15},
+		WantLen: 9, GotLen: 6,
+	}
+	out := FormatFailure(de)
+	for _, want := range []string{"DIVERGENCE", "event 5", "lock 0 by thread 2 at clock 17", "lock 0 by thread 1 at clock 15"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("divergence report missing %q:\n%s", want, out)
+		}
+	}
+	trunc := &diag.DivergenceError{Run: 1, Index: 6, Want: &diag.DivergenceEvent{Seq: 6, Lock: 1, Thread: 0, Clock: 20}, WantLen: 9, GotLen: 6}
+	out = FormatFailure(trunc)
+	if !strings.Contains(out, "DIVERGENCE") {
+		t.Fatalf("truncated divergence not rendered:\n%s", out)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/diag"
 	"repro/internal/sim"
 )
 
@@ -140,7 +141,9 @@ func FromSim(acqs []sim.Acquisition) *Schedule {
 }
 
 // CheckRuns verifies that every schedule in runs is identical to the first,
-// returning nil on success or a descriptive error naming the diverging run.
+// returning nil on success or a typed *diag.DivergenceError naming the
+// diverging run and the first mismatched event (classify with
+// errors.Is(err, diag.ErrDivergence), extract with errors.As).
 func CheckRuns(runs []*Schedule) error {
 	if len(runs) < 2 {
 		return nil
@@ -148,8 +151,32 @@ func CheckRuns(runs []*Schedule) error {
 	ref := runs[0]
 	for i, r := range runs[1:] {
 		if d := Compare(ref, r); d.Diverged {
-			return fmt.Errorf("trace: run %d diverges from run 0: %s", i+1, d)
+			return DivergenceError(i+1, d)
 		}
 	}
 	return nil
+}
+
+// DivergenceError converts a Compare result into the typed report, tagged
+// with the index of the diverging run. It returns nil when d records no
+// divergence.
+func DivergenceError(run int, d *Divergence) *diag.DivergenceError {
+	if d == nil || !d.Diverged {
+		return nil
+	}
+	de := &diag.DivergenceError{
+		Run:     run,
+		Index:   d.Index,
+		WantLen: d.ALen,
+		GotLen:  d.BLen,
+	}
+	conv := func(e *Event) *diag.DivergenceEvent {
+		if e == nil {
+			return nil
+		}
+		return &diag.DivergenceEvent{Seq: e.Seq, Lock: e.Lock, Thread: e.Thread, Clock: e.Clock}
+	}
+	de.Want = conv(d.A)
+	de.Got = conv(d.B)
+	return de
 }
