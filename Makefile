@@ -1,7 +1,7 @@
 GO ?= go
 TIMEOUT ?= 10m
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench serve-smoke
 
 # check is what CI runs: build, vet, full test suite under the race detector.
 check: build vet race
@@ -23,3 +23,10 @@ race:
 # detector must add no allocations to the simulator hot loop.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkDetRuntimeWatchdog|BenchmarkRaceDetectorOff' -benchtime 1x -benchmem .
+
+# serve-smoke proves the service end to end: detserve starts on a random
+# loopback port, the quickstart program is submitted twice over HTTP, and
+# the second response must be a cache hit with an identical schedule hash
+# (every hit is re-executed by the determinism self-check).
+serve-smoke:
+	$(GO) run ./cmd/detserve -smoke

@@ -11,6 +11,11 @@
 //	detbench -threads N         # thread count (default 4, as in the paper)
 //	detbench -bench name        # restrict Table I/II to one benchmark
 //	detbench -race              # fail-fast race detection on deterministic runs
+//	detbench -j N               # worker pool for the sweep (default GOMAXPROCS)
+//
+// The (benchmark × optimization × mode) sweep cells are independent
+// simulations, so -j runs them on a worker pool; the rendered tables are
+// byte-identical to a sequential run regardless of N.
 //
 // -race is a correctness guard, not a benchmark mode: it perturbs the
 // deterministic runs' instruction stream with detector checks, so overhead
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/harness"
 	"repro/internal/splash"
@@ -37,8 +43,34 @@ func main() {
 		bench    = flag.String("bench", "", "restrict to one benchmark")
 		diag     = flag.String("diag", "", "print per-mode diagnostics for one benchmark")
 		race     = flag.Bool("race", false, "enable fail-fast race detection on deterministic runs")
+		jobs     = flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
+	// Validate flags up front: bad invocations get a short usage message,
+	// never a mid-sweep error.
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "detbench: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if flag.NArg() != 0 {
+		usage("unexpected arguments %v", flag.Args())
+	}
+	if *threads < 1 {
+		usage("-threads must be >= 1 (got %d)", *threads)
+	}
+	if *jobs < 0 {
+		usage("-j must be >= 0 (got %d)", *jobs)
+	}
+	if *bench != "" && !knownBench(*bench) {
+		usage("unknown -bench %q (want one of %v)", *bench, splash.Names())
+	}
+	if *diag != "" && !knownBench(*diag) {
+		usage("unknown -diag %q (want one of %v)", *diag, splash.Names())
+	}
+	workers := *jobs
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if *diag != "" {
 		r := harness.NewRunner()
 		r.Threads = *threads
@@ -52,6 +84,7 @@ func main() {
 	r := harness.NewRunner()
 	r.Threads = *threads
 	r.RaceCheck = *race
+	r.Workers = workers
 	if *race {
 		fmt.Println("race detector enabled on deterministic runs; overheads below are NOT paper-comparable")
 	}
@@ -121,6 +154,16 @@ func printColumn(col *harness.BenchTableI) {
 			key, col.ClocksPct[key], b.PaperClockOverheadPct[key],
 			col.DetPct[key], b.PaperDetOverheadPct[key])
 	}
+}
+
+// knownBench reports whether name is one of the splash workloads.
+func knownBench(name string) bool {
+	for _, n := range splash.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // runDiag prints raw per-run numbers (makespan, wait cycles, clock updates)

@@ -42,6 +42,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Validate flag combinations up front: a bad invocation should be a short
+	// usage message, not a mid-pipeline error (or a preset-table panic).
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "detlock: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *threads < 1 {
+		usage("-threads must be >= 1 (got %d)", *threads)
+	}
+	if *runs < 1 {
+		usage("-runs must be >= 1 (got %d)", *runs)
+	}
+	if !validKey(*optName) {
+		usage("unknown -opt %q (want one of %v)", *optName, harness.PresetKeys())
+	}
+	if *race && *baseline {
+		usage("-race requires the deterministic backend; drop -baseline")
+	}
+	if *racePol != "fail" && *racePol != "report" {
+		usage("unknown -race-policy %q (want fail or report)", *racePol)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fail(err)
@@ -62,18 +83,10 @@ func main() {
 		cfg.Opt = &opt
 	}
 	if *race {
-		rc := detlock.RaceConfig{}
-		switch *racePol {
-		case "fail":
-			rc.Policy = detlock.RaceFailFast
-		case "report":
+		rc := detlock.RaceConfig{Policy: detlock.RaceFailFast}
+		if *racePol == "report" {
 			rc.Policy = detlock.RaceReport
-		default:
-			fmt.Fprintf(os.Stderr, "detlock: unknown -race-policy %q (want fail or report)\n", *racePol)
-			os.Exit(2)
 		}
-		// -race -baseline surfaces the typed backend misuse error from
-		// Simulate rather than being silently ignored here.
 		cfg.Race = &rc
 	}
 
@@ -126,4 +139,14 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "detlock:", detlock.FormatFailure(err))
 	os.Exit(1)
+}
+
+// validKey reports whether name is a known optimization preset.
+func validKey(name string) bool {
+	for _, k := range harness.PresetKeys() {
+		if k == name {
+			return true
+		}
+	}
+	return false
 }

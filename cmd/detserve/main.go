@@ -1,0 +1,326 @@
+// Command detserve runs the deterministic-execution service as an HTTP
+// server: a long-lived embedding of the ir→core→interp→sim pipeline behind a
+// job-submission API with a worker pool and content-addressed caches.
+//
+// Usage:
+//
+//	detserve [-addr :8080] [-workers N] [-queue N] [-self-check RATE] \
+//	         [-instr-cache N] [-result-cache N]
+//	detserve -smoke
+//
+// Endpoints:
+//
+//	POST /v1/jobs        submit a job (body: service.Request JSON).
+//	                     ?wait=1 blocks until the job completes and returns
+//	                     the result (or the structured failure) directly.
+//	GET  /v1/jobs/{id}   job status/result (service.JobView JSON).
+//	GET  /v1/stats       service counters (service.StatsSnapshot JSON).
+//
+// Status codes: 400 for configuration misuse, 404 for unknown jobs, 422 for
+// jobs that failed with a structured report (deadlock, race, divergence),
+// 429 when the bounded queue is full, 503 while shutting down.
+//
+// -smoke runs the self-test used by `make serve-smoke`: start an in-process
+// server on a random port, submit the same program twice, and verify the
+// second response is a cache hit with an identical schedule hash.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "job queue depth (0 = default 256)")
+		instrCache  = flag.Int("instr-cache", 0, "instrumentation cache entries (0 = default)")
+		resultCache = flag.Int("result-cache", 0, "result cache entries (0 = default)")
+		selfCheck   = flag.Float64("self-check", 0, "fraction of cache hits to re-execute and verify (0..1)")
+		smoke       = flag.Bool("smoke", false, "run the cache-coherence smoke test and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: detserve [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 || *queue < 0 || *instrCache < 0 || *resultCache < 0 {
+		fmt.Fprintln(os.Stderr, "detserve: -workers, -queue, -instr-cache, -result-cache must be >= 0")
+		os.Exit(2)
+	}
+	if *selfCheck < 0 || *selfCheck > 1 {
+		fmt.Fprintln(os.Stderr, "detserve: -self-check must be in [0,1]")
+		os.Exit(2)
+	}
+
+	cfg := service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		InstrCacheSize:  *instrCache,
+		ResultCacheSize: *resultCache,
+		SelfCheckRate:   *selfCheck,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "detserve: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("detserve: smoke OK")
+		return
+	}
+
+	if err := serve(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "detserve:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains: the listener
+// closes first, then the service finishes every accepted job.
+func serve(addr string, cfg service.Config) error {
+	svc := service.New(cfg)
+	srv := &http.Server{Addr: addr, Handler: newHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("detserve: listening on %s (workers=%d queue=%d)\n", addr, svc.Snapshot().Workers, svc.Snapshot().QueueCap)
+
+	select {
+	case err := <-errCh:
+		svc.Close(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("detserve: shutting down, draining in-flight jobs")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	return svc.Close(shutCtx)
+}
+
+// newHandler wires the service into a Go 1.22 pattern-routing mux.
+func newHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req service.Request
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		if r.URL.Query().Get("wait") == "1" {
+			res, err := svc.Do(r.Context(), req)
+			if err != nil {
+				writeErr(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+		id, err := svc.Submit(req)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := svc.Lookup(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Snapshot())
+	})
+	return mux
+}
+
+// statusFor maps the service's typed errors onto HTTP status codes.
+func statusFor(err error) int {
+	switch service.Classify(err) {
+	case "queue_full":
+		return http.StatusTooManyRequests
+	case "closed":
+		return http.StatusServiceUnavailable
+	case "unknown_job":
+		return http.StatusNotFound
+	case "misuse":
+		return http.StatusBadRequest
+	case "deadlock", "race", "divergence":
+		// The request was well-formed; the program failed with a structured
+		// report.
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{
+		"error": err.Error(),
+		"kind":  service.Classify(err),
+	})
+}
+
+// smokeProgram is the README quickstart program: four threads contending on
+// one lock.
+const smokeProgram = `
+module quickstart
+locks 1
+global counter 1
+
+func main() regs 6 {
+entry:
+  r0 = tid
+  r1 = const 0
+  jmp loop
+loop:
+  r2 = lt r1, 4
+  br r2, body, done
+body:
+  lock 0
+  r3 = load counter[0]
+  r3 = add r3, 1
+  store counter[0], r3
+  unlock 0
+  r1 = add r1, 1
+  jmp loop
+done:
+  ret r1
+}
+`
+
+// runSmoke starts the server on a loopback port, submits smokeProgram twice
+// through the real HTTP stack, and verifies the second response is a result-
+// cache hit with an identical schedule hash — the end-to-end proof that the
+// content-addressed cache respects weak determinism.
+func runSmoke(cfg service.Config) error {
+	cfg.SelfCheckRate = 1 // verify every hit during the smoke test
+	svc := service.New(cfg)
+	defer svc.Close(context.Background())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newHandler(svc)}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+
+	body, err := json.Marshal(service.Request{Source: smokeProgram})
+	if err != nil {
+		return err
+	}
+	submit := func() (*service.Result, error) {
+		resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+		}
+		var res service.Result
+		if err := json.Unmarshal(payload, &res); err != nil {
+			return nil, err
+		}
+		return &res, nil
+	}
+
+	first, err := submit()
+	if err != nil {
+		return fmt.Errorf("first submission: %w", err)
+	}
+	if first.Cached {
+		return fmt.Errorf("first submission unexpectedly hit the cache")
+	}
+	second, err := submit()
+	if err != nil {
+		return fmt.Errorf("second submission: %w", err)
+	}
+	if !second.Cached {
+		return fmt.Errorf("second submission missed the cache")
+	}
+	if !second.SelfChecked {
+		return fmt.Errorf("second submission skipped the determinism self-check")
+	}
+	if second.ScheduleHash != first.ScheduleHash {
+		return fmt.Errorf("schedule hash changed across identical submissions: %s vs %s",
+			first.ScheduleHash, second.ScheduleHash)
+	}
+
+	// A malformed request must be a 400, not a server fault.
+	resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", bytes.NewReader([]byte(`{"source":"","threads":-1}`)))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("invalid request returned %d, want 400", resp.StatusCode)
+	}
+
+	// Counters reflect the run.
+	stats, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer stats.Body.Close()
+	var snap service.StatsSnapshot
+	if err := json.NewDecoder(stats.Body).Decode(&snap); err != nil {
+		return err
+	}
+	if snap.ResultCacheHits < 1 || snap.Divergences != 0 {
+		return fmt.Errorf("bad counters: hits=%d divergences=%d", snap.ResultCacheHits, snap.Divergences)
+	}
+
+	fmt.Printf("detserve: smoke: hash %s, cache hit verified, %d self-checks, 0 divergences\n",
+		second.ScheduleHash, snap.SelfChecks)
+	return nil
+}

@@ -166,6 +166,7 @@ var (
 	ErrDivergence     = diag.ErrDivergence
 	ErrDetectorMidRun = diag.ErrDetectorMidRun
 	ErrRaceBackend    = diag.ErrRaceBackend
+	ErrBadConfig      = diag.ErrBadConfig
 )
 
 // FormatFailure renders a runtime failure error (deadlock, stall, panic,
@@ -214,7 +215,8 @@ func Instrument(m *Module, opt Options, roots ...string) (*InstrumentResult, err
 
 // SimConfig configures a deterministic simulation of an IR program.
 type SimConfig struct {
-	// Threads is the simulated core count (default 4).
+	// Threads is the simulated core count. Zero defaults to 4; a negative
+	// count is a typed *MisuseError (ErrBadConfig).
 	Threads int
 	// Entry is the SPMD entry function (default "main").
 	Entry string
@@ -265,9 +267,23 @@ type SimResult struct {
 }
 
 // Simulate instruments (optionally) and runs m on the deterministic
-// multicore simulator. The input module is not modified.
+// multicore simulator. The input module is not modified. Configuration
+// misuse (nil module, negative thread count, Race without Deterministic) is
+// a typed *MisuseError, never a panic.
 func Simulate(m *Module, cfg SimConfig) (*SimResult, error) {
-	if cfg.Threads <= 0 {
+	if m == nil {
+		return nil, &diag.MisuseError{
+			Op: "detlock.Simulate", ThreadID: -1, Kind: diag.ErrBadConfig,
+			Detail: "nil module",
+		}
+	}
+	if cfg.Threads < 0 {
+		return nil, &diag.MisuseError{
+			Op: "detlock.Simulate", ThreadID: -1, Kind: diag.ErrBadConfig,
+			Detail: fmt.Sprintf("negative thread count %d", cfg.Threads),
+		}
+	}
+	if cfg.Threads == 0 {
 		cfg.Threads = 4
 	}
 	if cfg.Entry == "" {
@@ -335,8 +351,14 @@ func Simulate(m *Module, cfg SimConfig) (*SimResult, error) {
 
 // CheckDeterminism runs the program n times under the deterministic policy
 // and verifies the synchronization schedules are identical, returning the
-// common schedule.
+// common schedule. n must be at least 1 (ErrBadConfig otherwise).
 func CheckDeterminism(m *Module, cfg SimConfig, n int) (*Schedule, error) {
+	if n < 1 {
+		return nil, &diag.MisuseError{
+			Op: "detlock.CheckDeterminism", ThreadID: -1, Kind: diag.ErrBadConfig,
+			Detail: fmt.Sprintf("run count %d < 1", n),
+		}
+	}
 	cfg.Deterministic = true
 	cfg.RecordSchedule = true
 	var runs []*Schedule

@@ -8,17 +8,24 @@
 // history (allocation offsets included) is identical on every run.
 //
 // The second half demonstrates divergence *detection*: the lock-acquisition
-// schedule of a reference run is recorded with RecordSchedule, a faithful
-// re-run replays cleanly under SetReplayGuard, and a perturbed re-run (one
+// schedule of a reference run is recorded with RecordSchedule, persisted to
+// disk as JSON, reloaded, and the reloaded copy arms SetReplayGuard — a
+// faithful re-run replays cleanly against it, and a perturbed re-run (one
 // thread's clock profile changed — the observable symptom of a data race
 // under weak determinism) terminates with a typed *DivergenceError naming
-// the first mismatched acquisition.
+// the first mismatched acquisition. Persisting the schedule instead of
+// holding it in memory is what lets a recorded run be audited or replayed
+// by a different process (the service layer's result cache stores schedules
+// in the same JSON form).
 //
 //	go run ./examples/replay
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	detlock "repro"
 )
@@ -142,13 +149,40 @@ func divergenceDemo() {
 	}
 	fmt.Printf("reference schedule recorded: %d acquisitions, hash %016x\n", ref.Len(), ref.Hash())
 
-	if err := ladder(nil, ref, false); err != nil {
+	// Persist the schedule to disk and replay against the reloaded copy — a
+	// different process could do the same with the file alone.
+	path := filepath.Join(os.TempDir(), "detlock-replay-schedule.json")
+	data, err := json.Marshal(ref)
+	if err != nil {
+		fmt.Println("marshal schedule:", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Println("persist schedule:", err)
+		return
+	}
+	loaded := detlock.NewSchedule()
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		err = json.Unmarshal(raw, loaded)
+	}
+	if err != nil {
+		fmt.Println("reload schedule:", err)
+		return
+	}
+	if loaded.Hash() != ref.Hash() {
+		fmt.Println("UNEXPECTED: reloaded schedule hash differs")
+		return
+	}
+	fmt.Printf("schedule persisted to %s (%d bytes) and reloaded, hash intact ✓\n", path, len(data))
+
+	if err := ladder(nil, loaded, false); err != nil {
 		fmt.Println("UNEXPECTED: faithful replay diverged:", err)
 		return
 	}
-	fmt.Println("faithful re-run replays the reference cleanly ✓")
+	fmt.Println("faithful re-run replays the persisted reference cleanly ✓")
 
-	err := ladder(nil, ref, true)
+	err = ladder(nil, loaded, true)
 	if err == nil {
 		fmt.Println("UNEXPECTED: perturbed run matched the reference")
 		return

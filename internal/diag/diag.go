@@ -60,6 +60,10 @@ var (
 	// ErrRaceBackend: race detection requested on a backend that cannot
 	// provide it (only the deterministic simulator instruments accesses).
 	ErrRaceBackend = errors.New("race detection requires the deterministic simulator backend")
+	// ErrBadConfig: a configuration value is invalid (negative thread count,
+	// nil module, unknown preset, non-positive run count, …). Used by the
+	// facade and the service layer's job validation.
+	ErrBadConfig = errors.New("invalid configuration")
 )
 
 // ThreadSnapshot is one thread's state at the moment a failure report was

@@ -5,6 +5,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/estimates"
@@ -84,6 +85,11 @@ type Runner struct {
 	// FCFS schedules make race reports unreproducible, so the detector
 	// stays off there.
 	RaceCheck bool
+	// Workers caps concurrent simulations for the table sweeps. Every
+	// (benchmark × optset × mode) cell is an independent deterministic
+	// simulation, so the pool changes wall-clock time only: reports are
+	// byte-identical to a sequential run. 0 or 1 runs sequentially.
+	Workers int
 }
 
 // NewRunner returns a runner with the paper's defaults (4 threads).
@@ -155,6 +161,87 @@ func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChun
 	res.Instrs = mach.InstrsExecuted
 	res.Trace = stats.Trace
 	return res, nil
+}
+
+// runAll executes fn(0) … fn(n-1) on up to r.Workers goroutines. Results are
+// communicated through the caller's index-addressed slices, so assembly
+// order — and therefore every rendered table — is independent of scheduling.
+// When several cells fail, the error of the lowest index wins, matching what
+// a sequential sweep would have reported first.
+func (r *Runner) runAll(n int, fn func(i int) error) error {
+	workers := r.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OverheadRow is a Table-I-style summary for one program under one preset:
+// the baseline makespan, the clock-insertion overhead, and the full
+// deterministic-execution overhead. The service layer computes one per job
+// when the client requests the overhead_row artifact.
+type OverheadRow struct {
+	BaselineCycles int64   `json:"baseline_cycles"`
+	BaselineMS     float64 `json:"baseline_ms"`
+	LocksPerSec    float64 `json:"locks_per_sec"`
+	Clockable      int     `json:"clockable"`
+	ClocksPct      float64 `json:"clocks_overhead_pct"`
+	DetPct         float64 `json:"det_overhead_pct"`
+}
+
+// OverheadRowFor runs the three simulations behind one Table I cell pair
+// (baseline, clocks-only, clocks+det) for an arbitrary benchmark/module.
+func (r *Runner) OverheadRowFor(b *splash.Benchmark, opt core.Options) (*OverheadRow, error) {
+	base, err := r.Run(b, core.OptNone, ModeBaseline, 0)
+	if err != nil {
+		return nil, err
+	}
+	co, err := r.Run(b, opt, ModeClocksOnly, 0)
+	if err != nil {
+		return nil, err
+	}
+	de, err := r.Run(b, opt, ModeDet, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &OverheadRow{
+		BaselineCycles: base.Makespan,
+		BaselineMS:     base.Seconds() * 1000,
+		LocksPerSec:    base.LocksPerSec(),
+		Clockable:      co.Clockable,
+		ClocksPct:      OverheadPct(co, base),
+		DetPct:         OverheadPct(de, base),
+	}, nil
 }
 
 // PresetKeys lists Table I preset row keys in order.

@@ -25,17 +25,12 @@ type TableIReport struct {
 }
 
 // TableI runs the Table I sweep: for every benchmark, a baseline run plus
-// {clocks-only, clocks+det} × the six optimization presets.
+// {clocks-only, clocks+det} × the six optimization presets. With
+// Runner.Workers > 1 the full (benchmark × optset × mode) cell grid runs on
+// a worker pool; every cell is an independent deterministic simulation, so
+// the rendered report is byte-identical to the sequential sweep.
 func (r *Runner) TableI() (*TableIReport, error) {
-	rep := &TableIReport{Threads: r.Threads}
-	for _, b := range splash.All(r.Threads) {
-		col, err := r.tableIColumn(b)
-		if err != nil {
-			return nil, err
-		}
-		rep.Columns = append(rep.Columns, col)
-	}
-	return rep, nil
+	return r.tableIReport(splash.All(r.Threads))
 }
 
 // TableIFor runs a single benchmark's Table I column (used by benches).
@@ -44,38 +39,59 @@ func (r *Runner) TableIFor(name string) (*BenchTableI, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.tableIColumn(b)
-}
-
-func (r *Runner) tableIColumn(b *splash.Benchmark) (*BenchTableI, error) {
-	base, err := r.Run(b, PresetByKey("none"), ModeBaseline, 0)
+	rep, err := r.tableIReport([]*splash.Benchmark{b})
 	if err != nil {
 		return nil, err
 	}
-	col := &BenchTableI{
-		Bench:       b,
-		Baseline:    base,
-		LocksPerSec: base.LocksPerSec(),
-		ClocksPct:   map[string]float64{},
-		DetPct:      map[string]float64{},
+	return rep.Columns[0], nil
+}
+
+func (r *Runner) tableIReport(benches []*splash.Benchmark) (*TableIReport, error) {
+	keys := PresetKeys()
+	// Cell layout per benchmark: [baseline, {clocks-only, det} × preset].
+	per := 1 + 2*len(keys)
+	runs := make([]*RunResult, len(benches)*per)
+	err := r.runAll(len(runs), func(i int) error {
+		b := benches[i/per]
+		slot := i % per
+		var res *RunResult
+		var err error
+		switch {
+		case slot == 0:
+			res, err = r.Run(b, PresetByKey("none"), ModeBaseline, 0)
+		case slot%2 == 1:
+			res, err = r.Run(b, PresetByKey(keys[(slot-1)/2]), ModeClocksOnly, 0)
+		default:
+			res, err = r.Run(b, PresetByKey(keys[(slot-1)/2]), ModeDet, 0)
+		}
+		runs[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, key := range PresetKeys() {
-		opt := PresetByKey(key)
-		co, err := r.Run(b, opt, ModeClocksOnly, 0)
-		if err != nil {
-			return nil, err
+	rep := &TableIReport{Threads: r.Threads}
+	for bi, b := range benches {
+		base := runs[bi*per]
+		col := &BenchTableI{
+			Bench:       b,
+			Baseline:    base,
+			LocksPerSec: base.LocksPerSec(),
+			ClocksPct:   map[string]float64{},
+			DetPct:      map[string]float64{},
 		}
-		col.ClocksPct[key] = OverheadPct(co, base)
-		if key == "all" {
-			col.Clockable = co.Clockable
+		for ki, key := range keys {
+			co := runs[bi*per+1+2*ki]
+			de := runs[bi*per+2+2*ki]
+			col.ClocksPct[key] = OverheadPct(co, base)
+			if key == "all" {
+				col.Clockable = co.Clockable
+			}
+			col.DetPct[key] = OverheadPct(de, base)
 		}
-		de, err := r.Run(b, opt, ModeDet, 0)
-		if err != nil {
-			return nil, err
-		}
-		col.DetPct[key] = OverheadPct(de, base)
+		rep.Columns = append(rep.Columns, col)
 	}
-	return col, nil
+	return rep, nil
 }
 
 // Render prints the report in the layout of the paper's Table I.
@@ -178,17 +194,10 @@ type TableIIReport struct {
 
 // TableII compares DetLock (all optimizations) against the simulated Kendo
 // baseline, tuning Kendo's chunk size per benchmark as the paper's authors
-// did manually (§V-C).
+// did manually (§V-C). Like TableI, the (benchmark × mode × chunk) cells run
+// on the worker pool when Runner.Workers > 1 with byte-identical output.
 func (r *Runner) TableII() (*TableIIReport, error) {
-	rep := &TableIIReport{Threads: r.Threads}
-	for _, b := range splash.All(r.Threads) {
-		row, err := r.tableIIRow(b)
-		if err != nil {
-			return nil, err
-		}
-		rep.Rows = append(rep.Rows, row)
-	}
-	return rep, nil
+	return r.tableIIReport(splash.All(r.Threads))
 }
 
 // TableIIFor runs one benchmark's Table II row.
@@ -197,42 +206,61 @@ func (r *Runner) TableIIFor(name string) (*BenchTableII, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.tableIIRow(b)
+	rep, err := r.tableIIReport([]*splash.Benchmark{b})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Rows[0], nil
 }
 
-func (r *Runner) tableIIRow(b *splash.Benchmark) (*BenchTableII, error) {
-	base, err := r.Run(b, PresetByKey("none"), ModeBaseline, 0)
+func (r *Runner) tableIIReport(benches []*splash.Benchmark) (*TableIIReport, error) {
+	// Cell layout per benchmark: [baseline, det(all), kendo × chunk].
+	per := 2 + len(r.KendoChunks)
+	runs := make([]*RunResult, len(benches)*per)
+	err := r.runAll(len(runs), func(i int) error {
+		b := benches[i/per]
+		slot := i % per
+		var res *RunResult
+		var err error
+		switch {
+		case slot == 0:
+			res, err = r.Run(b, PresetByKey("none"), ModeBaseline, 0)
+		case slot == 1:
+			res, err = r.Run(b, PresetByKey("all"), ModeDet, 0)
+		default:
+			res, err = r.Run(b, PresetByKey("none"), ModeKendo, r.KendoChunks[slot-2])
+		}
+		runs[i] = res
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	det, err := r.Run(b, PresetByKey("all"), ModeDet, 0)
-	if err != nil {
-		return nil, err
-	}
-	row := &BenchTableII{
-		Name:            b.Name,
-		DetLockPct:      OverheadPct(det, base),
-		DetLockLocksSec: base.LocksPerSec(),
-		KendoSweep:      map[int64]float64{},
-		PaperDetLockPct: b.PaperDetOverheadPct["all"],
-		PaperKendoPct:   b.PaperKendoOverheadPct,
-	}
-	best := false
-	for _, chunk := range r.KendoChunks {
-		kr, err := r.Run(b, PresetByKey("none"), ModeKendo, chunk)
-		if err != nil {
-			return nil, err
+	rep := &TableIIReport{Threads: r.Threads}
+	for bi, b := range benches {
+		base := runs[bi*per]
+		det := runs[bi*per+1]
+		row := &BenchTableII{
+			Name:            b.Name,
+			DetLockPct:      OverheadPct(det, base),
+			DetLockLocksSec: base.LocksPerSec(),
+			KendoSweep:      map[int64]float64{},
+			PaperDetLockPct: b.PaperDetOverheadPct["all"],
+			PaperKendoPct:   b.PaperKendoOverheadPct,
 		}
-		pct := OverheadPct(kr, base)
-		row.KendoSweep[chunk] = pct
-		if !best || pct < row.KendoPct {
-			best = true
-			row.KendoPct = pct
-			row.KendoChunk = chunk
-			row.KendoLocksSec = kr.LocksPerSec()
+		for ci, chunk := range r.KendoChunks {
+			kr := runs[bi*per+2+ci]
+			pct := OverheadPct(kr, base)
+			row.KendoSweep[chunk] = pct
+			if ci == 0 || pct < row.KendoPct {
+				row.KendoPct = pct
+				row.KendoChunk = chunk
+				row.KendoLocksSec = kr.LocksPerSec()
+			}
 		}
+		rep.Rows = append(rep.Rows, row)
 	}
-	return row, nil
+	return rep, nil
 }
 
 // Render prints the Table II layout.

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Content-addressed caching is the service's central soundness claim: by the
+// weak-determinism invariant (DESIGN §5.1/§5.6), identical (program, config)
+// pairs produce identical schedules and cycle counts, so a stored result IS
+// the result of re-execution. Two layers:
+//
+//   - the instrumentation cache maps hash(IR source, Options) to the
+//     instrumented module and pass statistics — instrumentation is a pure
+//     function of (source, options);
+//   - the result cache maps hash(instrumented module, SimConfig) to the
+//     simulation outcome — keyed on the *instrumented* text so two sources
+//     that instrument to the same module share one entry.
+//
+// The determinism self-check (Config.SelfCheckRate) re-executes a sampled
+// fraction of result-cache hits and compares schedules, so a violated
+// invariant (a miscompiled pass, a nondeterministic simulator bug, cache
+// corruption) surfaces as a typed DivergenceError instead of silently
+// serving a wrong answer.
+
+// lruCache is a small bounded LRU: map + intrusive recency list.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) a key, evicting the least recently used entry
+// beyond capacity.
+func (c *lruCache) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// instrEntry is one instrumentation-cache value. The modules are treated as
+// immutable after insertion: every simulation clones before executing, and
+// harness runs clone internally.
+type instrEntry struct {
+	// raw is the parsed, uninstrumented module (overhead rows re-instrument
+	// from it under harness modes).
+	raw *ir.Module
+	// mod is the instrumented module (== raw for baseline jobs).
+	mod *ir.Module
+	// text is mod's canonical printed form — the content address the result
+	// cache keys on.
+	text string
+	// pass holds instrumentation statistics (nil for baseline jobs).
+	pass *core.Result
+}
+
+// resultEntry is one result-cache value: the canonical outcome of a
+// (instrumented module, sim config) pair. The schedule is always stored —
+// it is the self-check's comparison reference and serves Schedule artifact
+// requests. The overhead row is filled lazily by the first job that asks
+// for it.
+type resultEntry struct {
+	res      Result // canonical fields only; job-specific fields zeroed
+	schedule *trace.Schedule
+
+	mu       sync.Mutex // guards overhead
+	overhead *harness.OverheadRow
+}
+
+// instrKey is the content address of an instrumentation: the exact source
+// text plus every option that changes the instrumented module.
+func instrKey(req *Request) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "src\x00%s\x00entry\x00%s\x00", req.Source, req.Entry)
+	if req.Baseline {
+		fmt.Fprint(h, "baseline")
+	} else {
+		fmt.Fprintf(h, "preset\x00%s", req.Preset)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resultKey is the content address of a simulation: the instrumented
+// module's printed text plus every SimConfig field that can change the
+// outcome. PerturbSeed is included even though deterministic schedules are
+// invariant under it — makespans are not.
+func resultKey(moduleText string, req *Request) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mod\x00%s\x00threads\x00%d\x00entry\x00%s\x00det\x00%t\x00race\x00%t\x00seed\x00%d",
+		moduleText, req.Threads, req.Entry, !req.Baseline, req.Race, req.PerturbSeed)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,104 @@
+package service
+
+import "testing"
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", 1)
+	c.add("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted under capacity")
+	}
+	// "a" is now most recent; adding "c" must evict "b".
+	c.add("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used a was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// Refreshing an existing key must not grow the cache.
+	c.add("c", 4)
+	if v, _ := c.get("c"); v.(int) != 4 {
+		t.Fatalf("refresh did not replace value: %v", v)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after refresh = %d, want 2", c.len())
+	}
+}
+
+// TestCacheKeySensitivity: every field that can change the outcome must
+// change the content address; fields that cannot must not.
+func TestCacheKeySensitivity(t *testing.T) {
+	base := Request{Source: "module m", Entry: "main", Threads: 4, Preset: "all"}
+
+	if instrKey(&base) != instrKey(&base) {
+		t.Fatal("instrKey not stable")
+	}
+	variants := []Request{
+		{Source: "module m2", Entry: "main", Threads: 4, Preset: "all"},
+		{Source: "module m", Entry: "other", Threads: 4, Preset: "all"},
+		{Source: "module m", Entry: "main", Threads: 4, Preset: "O2"},
+		{Source: "module m", Entry: "main", Threads: 4, Preset: "all", Baseline: true},
+	}
+	for i, v := range variants {
+		if instrKey(&v) == instrKey(&base) {
+			t.Errorf("instr variant %d collided with base", i)
+		}
+	}
+	// Threads, seed, and race do not affect instrumentation…
+	same := base
+	same.Threads, same.PerturbSeed, same.Race = 8, 99, true
+	if instrKey(&same) != instrKey(&base) {
+		t.Error("sim-only fields leaked into instrKey")
+	}
+	// …but all affect the result key.
+	if resultKey("mod", &same) == resultKey("mod", &base) {
+		t.Error("resultKey ignored sim config changes")
+	}
+	if resultKey("modA", &base) == resultKey("modB", &base) {
+		t.Error("resultKey ignored module text")
+	}
+	if resultKey("mod", &base) != resultKey("mod", &base) {
+		t.Error("resultKey not stable")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if s := newSampler(0, 1); s != nil {
+		t.Fatal("rate 0 should disable sampling")
+	}
+	var nilS *sampler
+	if nilS.sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	always := newSampler(1, 1)
+	for i := 0; i < 100; i++ {
+		if !always.sample() {
+			t.Fatal("rate 1 sampler skipped a hit")
+		}
+	}
+	half := newSampler(0.5, 42)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if half.sample() {
+			hits++
+		}
+	}
+	if hits < 4000 || hits > 6000 {
+		t.Fatalf("rate 0.5 sampled %d/10000", hits)
+	}
+	// Determinism: same seed → same stream.
+	a, b := newSampler(0.3, 7), newSampler(0.3, 7)
+	for i := 0; i < 1000; i++ {
+		if a.sample() != b.sample() {
+			t.Fatalf("sampler streams diverged at draw %d", i)
+		}
+	}
+}

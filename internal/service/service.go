@@ -1,0 +1,523 @@
+// Package service is the deterministic-execution service layer: a long-lived
+// embedding of the ir→core→interp→sim pipeline behind a job-submission API,
+// with a bounded queue, a worker pool, and two content-addressed caches.
+//
+// Determinism is what makes the pipeline serveable. Invariant 1 of DESIGN §5
+// (weak determinism) and invariant 6 (simulator determinism) together mean an
+// identical (program, config) request provably produces an identical schedule
+// and cycle count — so results are perfectly cacheable, the same insight that
+// makes deterministic execution attractive for fault-tolerant replicated
+// services (Aviram et al., "Efficient System-Enforced Deterministic
+// Parallelism"). The service takes that soundness claim seriously enough to
+// police it: a configurable fraction of cache hits is re-executed and
+// compared against the stored schedule, and any disagreement is a typed
+// *diag.DivergenceError, never a silently wrong answer.
+//
+// Failure containment: a job that deadlocks, races, or misuses the API
+// returns its existing structured report (*diag.DeadlockError,
+// *diag.RaceError, *diag.MisuseError, …) as the job's error; the server —
+// and every other in-flight job — keeps running.
+//
+// cmd/detserve is the HTTP front end; the root facade re-exports the types
+// for embedding.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/estimates"
+	"repro/internal/harness"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+	"repro/internal/splash"
+	"repro/internal/trace"
+)
+
+// Classification sentinels for service-level rejections; wrapped in
+// *diag.MisuseError so errors.Is and errors.As both work.
+var (
+	// ErrQueueFull: the bounded job queue is at capacity (backpressure —
+	// retry later).
+	ErrQueueFull = fmt.Errorf("job queue full")
+	// ErrClosed: the service is draining or closed.
+	ErrClosed = fmt.Errorf("service closed")
+	// ErrUnknownJob: no job with the requested id.
+	ErrUnknownJob = fmt.Errorf("unknown job id")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue (default 256). Submissions beyond it
+	// are rejected with ErrQueueFull, never blocked.
+	QueueDepth int
+	// InstrCacheSize bounds the instrumentation cache (default 128 entries).
+	InstrCacheSize int
+	// ResultCacheSize bounds the LRU result cache (default 512 entries).
+	ResultCacheSize int
+	// SelfCheckRate is the fraction of result-cache hits to re-execute and
+	// compare against the stored schedule (0 disables, 1 checks every hit).
+	SelfCheckRate float64
+	// SelfCheckSeed seeds the deterministic sampling stream.
+	SelfCheckSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.InstrCacheSize <= 0 {
+		c.InstrCacheSize = 128
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 512
+	}
+	return c
+}
+
+// Service is the deterministic-execution service.
+type Service struct {
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	seq    int64
+	jobs   map[string]*job
+	queue  chan *job
+
+	wg sync.WaitGroup
+
+	instr   *lruCache
+	results *lruCache
+	check   *sampler
+	ctr     counters
+
+	// Shared read-only tables for the pipeline.
+	costs *ir.CostModel
+	est   *estimates.Table
+}
+
+// New starts a service: the worker pool begins draining the queue
+// immediately. Close shuts it down.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+		instr:   newLRU(cfg.InstrCacheSize),
+		results: newLRU(cfg.ResultCacheSize),
+		check:   newSampler(cfg.SelfCheckRate, cfg.SelfCheckSeed),
+		costs:   ir.DefaultCostModel(),
+		est:     estimates.DefaultTable(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job, returning its id. Rejections are
+// typed: validation failures are *diag.MisuseError (ErrBadConfig /
+// ErrRaceBackend kinds), a full queue is ErrQueueFull, a closed service is
+// ErrClosed.
+func (s *Service) Submit(req Request) (string, error) {
+	if err := normalize(&req); err != nil {
+		s.ctr.rejected.Add(1)
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.ctr.rejected.Add(1)
+		return "", &diag.MisuseError{Op: "service.Submit", ThreadID: -1, Kind: ErrClosed}
+	}
+	j := &job{req: req, status: StatusQueued, done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+		s.seq++
+		j.id = fmt.Sprintf("job-%d", s.seq)
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		s.ctr.accepted.Add(1)
+		return j.id, nil
+	default:
+		s.mu.Unlock()
+		s.ctr.rejected.Add(1)
+		return "", &diag.MisuseError{
+			Op: "service.Submit", ThreadID: -1, Kind: ErrQueueFull,
+			Detail: fmt.Sprintf("queue depth %d reached", cap(s.queue)),
+		}
+	}
+}
+
+// Wait blocks until the job completes (or ctx is done) and returns its
+// result or structured failure.
+func (s *Service) Wait(ctx context.Context, id string) (*Result, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, &diag.MisuseError{Op: "service.Wait", ThreadID: -1, Kind: ErrUnknownJob, Detail: id}
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.result, nil
+}
+
+// Do submits a job and waits for it — the synchronous convenience the tests
+// and the smoke target use.
+func (s *Service) Do(ctx context.Context, req Request) (*Result, error) {
+	id, err := s.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.Wait(ctx, id)
+}
+
+// Lookup returns a job's current view.
+func (s *Service) Lookup(id string) (*JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, &diag.MisuseError{Op: "service.Lookup", ThreadID: -1, Kind: ErrUnknownJob, Detail: id}
+	}
+	v := &JobView{ID: j.id, Status: j.status, Result: j.result}
+	if j.err != nil {
+		v.Error = j.err.Error()
+		v.ErrorKind = Classify(j.err)
+	}
+	return v, nil
+}
+
+// Snapshot returns the service counters.
+func (s *Service) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		JobsAccepted:      s.ctr.accepted.Load(),
+		JobsCompleted:     s.ctr.completed.Load(),
+		JobsFailed:        s.ctr.failed.Load(),
+		JobsRejected:      s.ctr.rejected.Load(),
+		QueueDepth:        len(s.queue),
+		QueueCap:          cap(s.queue),
+		Workers:           s.cfg.Workers,
+		InstrCacheHits:    s.ctr.instrHits.Load(),
+		InstrCacheMisses:  s.ctr.instrMisses.Load(),
+		InstrCacheSize:    s.instr.len(),
+		ResultCacheHits:   s.ctr.resultHits.Load(),
+		ResultCacheMisses: s.ctr.resultMisses.Load(),
+		ResultCacheSize:   s.results.len(),
+		SelfChecks:        s.ctr.selfChecks.Load(),
+		Divergences:       s.ctr.divergences.Load(),
+		Stages: map[string]StageStats{
+			"parse":      s.ctr.parse.snapshot(),
+			"instrument": s.ctr.instrument.snapshot(),
+			"simulate":   s.ctr.simulate.snapshot(),
+			"overhead":   s.ctr.overhead.snapshot(),
+		},
+	}
+	return snap
+}
+
+// Close stops accepting jobs, drains the queue and in-flight work, and
+// returns when every worker has exited (or ctx expires; workers then finish
+// in the background).
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Classify maps a job error to its report family for monitoring and HTTP
+// responses.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, diag.ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, diag.ErrRace):
+		return "race"
+	case errors.Is(err, diag.ErrDivergence):
+		return "divergence"
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, ErrUnknownJob):
+		return "unknown_job"
+	case errors.Is(err, diag.ErrBadConfig), errors.Is(err, diag.ErrRaceBackend), errors.Is(err, diag.ErrDetectorMidRun):
+		return "misuse"
+	default:
+		return "error"
+	}
+}
+
+// --- worker pipeline --------------------------------------------------------
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job to completion, containing panics so a single bad
+// job can never tear down the pool.
+func (s *Service) runJob(j *job) {
+	s.setStatus(j, StatusRunning)
+	res, err := func() (res *Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("service: job %s: contained panic: %v", j.id, r)
+			}
+		}()
+		return s.execute(j)
+	}()
+	s.mu.Lock()
+	if err != nil {
+		j.status, j.err = StatusFailed, err
+	} else {
+		j.status, j.result = StatusDone, res
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.ctr.failed.Add(1)
+	} else {
+		s.ctr.completed.Add(1)
+	}
+	close(j.done)
+}
+
+func (s *Service) setStatus(j *job, st Status) {
+	s.mu.Lock()
+	j.status = st
+	s.mu.Unlock()
+}
+
+// execute runs the cached pipeline: instrumentation cache → result cache →
+// simulate on miss (or on a sampled self-check).
+func (s *Service) execute(j *job) (*Result, error) {
+	req := &j.req
+	var lat StageLatency
+
+	ie, instrHit, err := s.instrumented(req, &lat)
+	if err != nil {
+		return nil, err
+	}
+
+	rk := resultKey(ie.text, req)
+	if v, ok := s.results.get(rk); ok {
+		s.ctr.resultHits.Add(1)
+		ent := v.(*resultEntry)
+		selfChecked := false
+		if s.check.sample() {
+			s.ctr.selfChecks.Add(1)
+			if err := s.selfCheck(ie, req, ent); err != nil {
+				s.ctr.divergences.Add(1)
+				return nil, err
+			}
+			selfChecked = true
+		}
+		return s.assemble(j, ie, ent, true, instrHit, selfChecked, &lat)
+	}
+	s.ctr.resultMisses.Add(1)
+
+	start := time.Now()
+	ent, err := s.simulate(ie, req)
+	lat.SimulateNS = time.Since(start).Nanoseconds()
+	s.ctr.simulate.record(lat.SimulateNS)
+	if err != nil {
+		return nil, err
+	}
+	s.results.add(rk, ent)
+	return s.assemble(j, ie, ent, false, instrHit, false, &lat)
+}
+
+// instrumented returns the cached instrumentation for req, building it on a
+// miss: parse, verify, instrument (unless baseline), print.
+func (s *Service) instrumented(req *Request, lat *StageLatency) (*instrEntry, bool, error) {
+	ik := instrKey(req)
+	if v, ok := s.instr.get(ik); ok {
+		s.ctr.instrHits.Add(1)
+		return v.(*instrEntry), true, nil
+	}
+	s.ctr.instrMisses.Add(1)
+
+	start := time.Now()
+	raw, err := ir.Parse(req.Source)
+	lat.ParseNS = time.Since(start).Nanoseconds()
+	s.ctr.parse.record(lat.ParseNS)
+	if err != nil {
+		return nil, false, fmt.Errorf("service: parse: %w", err)
+	}
+
+	ie := &instrEntry{raw: raw, mod: raw}
+	if !req.Baseline {
+		start = time.Now()
+		mod := raw.Clone()
+		opt := harness.PresetByKey(req.Preset)
+		opt.Roots = []string{req.Entry}
+		pass, err := core.Instrument(mod, s.costs, s.est, opt)
+		lat.InstrumentNS = time.Since(start).Nanoseconds()
+		s.ctr.instrument.record(lat.InstrumentNS)
+		if err != nil {
+			return nil, false, fmt.Errorf("service: instrument: %w", err)
+		}
+		ie.mod, ie.pass = mod, pass
+	}
+	ie.text = ie.mod.String()
+	s.instr.add(ik, ie)
+	return ie, false, nil
+}
+
+// simulate runs one deterministic simulation from an instrumentation entry,
+// always recording the schedule (it is the cache's self-check reference).
+func (s *Service) simulate(ie *instrEntry, req *Request) (*resultEntry, error) {
+	mod := ie.mod.Clone()
+	cfg := interp.Config{
+		Module:     mod,
+		Costs:      s.costs,
+		Estimates:  s.est,
+		Threads:    req.Threads,
+		Entry:      req.Entry,
+		JitterSeed: req.PerturbSeed,
+	}
+	if req.Race {
+		cfg.Race = &interp.RaceConfig{Policy: interp.RaceFailFast}
+	}
+	mach, threads, err := interp.NewMachine(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	policy := sim.PolicyFCFS
+	if !req.Baseline {
+		policy = sim.PolicyDet
+	}
+	eng := sim.New(sim.Config{
+		Policy:      policy,
+		NumLocks:    mod.NumLocks,
+		NumBarriers: mod.NumBars,
+		RecordTrace: true,
+		Observer:    mach.Observer(),
+	}, interp.Programs(threads))
+	stats, err := eng.Run()
+	if err != nil {
+		// Structured report (DeadlockError, RaceError, …) — the job fails,
+		// the server does not.
+		return nil, err
+	}
+	sched := trace.FromSim(stats.Trace)
+	ent := &resultEntry{
+		res: Result{
+			ScheduleHash: fmt.Sprintf("%016x", sched.Hash()),
+			ScheduleLen:  sched.Len(),
+			Cycles:       stats.Makespan,
+			WaitCycles:   stats.WaitCycles,
+			Acquisitions: stats.Acquisitions,
+			ClockUpdates: mach.ClockUpdates,
+		},
+		schedule: sched,
+	}
+	if ie.pass != nil {
+		ent.res.Clockable = ie.pass.ClockableNames()
+	}
+	return ent, nil
+}
+
+// selfCheck re-executes a cache hit and compares the fresh schedule against
+// the stored one. A mismatch is the weak-determinism contract failing under
+// the service — returned as the typed divergence report.
+func (s *Service) selfCheck(ie *instrEntry, req *Request, ent *resultEntry) error {
+	fresh, err := s.simulate(ie, req)
+	if err != nil {
+		return fmt.Errorf("service: self-check re-execution: %w", err)
+	}
+	if d := trace.Compare(ent.schedule, fresh.schedule); d.Diverged {
+		return trace.DivergenceError(1, d)
+	}
+	return nil
+}
+
+// assemble builds the job-facing result from a cache entry, honoring the
+// requested artifacts.
+func (s *Service) assemble(j *job, ie *instrEntry, ent *resultEntry, cached, instrCached, selfChecked bool, lat *StageLatency) (*Result, error) {
+	res := ent.res // copy
+	res.JobID = j.id
+	res.Cached = cached
+	res.InstrCached = instrCached
+	res.SelfChecked = selfChecked
+	if !j.req.Artifacts.Stats {
+		res.Clockable = nil
+	}
+	if j.req.Artifacts.Schedule {
+		res.Schedule = ent.schedule
+	}
+	if j.req.Artifacts.OverheadRow {
+		row, err := s.overheadRow(ie, &j.req, ent, lat)
+		if err != nil {
+			return nil, err
+		}
+		res.Overhead = row
+	}
+	res.Stage = *lat
+	return &res, nil
+}
+
+// overheadRow returns the entry's Table-I-style row, computing and caching
+// it on first request (three extra simulations via the harness).
+func (s *Service) overheadRow(ie *instrEntry, req *Request, ent *resultEntry, lat *StageLatency) (*harness.OverheadRow, error) {
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.overhead != nil {
+		return ent.overhead, nil
+	}
+	start := time.Now()
+	r := harness.NewRunner()
+	r.Threads = req.Threads
+	b := &splash.Benchmark{Name: "job", Module: ie.raw, Threads: req.Threads, Entry: req.Entry}
+	row, err := r.OverheadRowFor(b, harness.PresetByKey(req.Preset))
+	lat.OverheadNS = time.Since(start).Nanoseconds()
+	s.ctr.overhead.record(lat.OverheadNS)
+	if err != nil {
+		return nil, fmt.Errorf("service: overhead row: %w", err)
+	}
+	ent.overhead = row
+	return row, nil
+}
+

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters aggregates service-lifetime statistics. All fields are atomics:
+// workers update them concurrently, and Snapshot reads without stopping the
+// world (individual counters are exact; a snapshot is only approximately a
+// single instant, which is fine for monitoring).
+type counters struct {
+	accepted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+
+	instrHits    atomic.Int64
+	instrMisses  atomic.Int64
+	resultHits   atomic.Int64
+	resultMisses atomic.Int64
+
+	selfChecks  atomic.Int64
+	divergences atomic.Int64
+
+	parse      stageAgg
+	instrument stageAgg
+	simulate   stageAgg
+	overhead   stageAgg
+}
+
+// stageAgg accumulates one pipeline stage's latency.
+type stageAgg struct {
+	count   atomic.Int64
+	totalNS atomic.Int64
+}
+
+func (a *stageAgg) record(ns int64) {
+	a.count.Add(1)
+	a.totalNS.Add(ns)
+}
+
+func (a *stageAgg) snapshot() StageStats {
+	c, t := a.count.Load(), a.totalNS.Load()
+	s := StageStats{Count: c, TotalNS: t}
+	if c > 0 {
+		s.AvgNS = t / c
+	}
+	return s
+}
+
+// StageStats is one pipeline stage's aggregate latency.
+type StageStats struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	AvgNS   int64 `json:"avg_ns"`
+}
+
+// StatsSnapshot is the GET /v1/stats payload.
+type StatsSnapshot struct {
+	JobsAccepted  int64 `json:"jobs_accepted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	Workers    int `json:"workers"`
+
+	InstrCacheHits    int64 `json:"instr_cache_hits"`
+	InstrCacheMisses  int64 `json:"instr_cache_misses"`
+	InstrCacheSize    int   `json:"instr_cache_size"`
+	ResultCacheHits   int64 `json:"result_cache_hits"`
+	ResultCacheMisses int64 `json:"result_cache_misses"`
+	ResultCacheSize   int   `json:"result_cache_size"`
+
+	// SelfChecks counts sampled cache hits that were re-executed;
+	// Divergences counts self-checks whose re-execution disagreed with the
+	// stored schedule. Any nonzero value here means the weak-determinism
+	// contract was violated somewhere below the service.
+	SelfChecks  int64 `json:"self_checks"`
+	Divergences int64 `json:"divergences"`
+
+	Stages map[string]StageStats `json:"stage_latency"`
+}
+
+// sampler draws deterministic pseudo-random booleans for the self-check.
+// An xorshift64* stream seeded by Config.SelfCheckSeed makes the sampled
+// subset reproducible for a given submission order.
+type sampler struct {
+	mu        sync.Mutex
+	state     uint64
+	threshold uint64 // sample when next() < threshold
+}
+
+func newSampler(rate float64, seed int64) *sampler {
+	if rate <= 0 {
+		return nil
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	s := &sampler{state: uint64(seed)*2685821657736338717 + 1}
+	s.threshold = uint64(rate * float64(^uint64(0)>>1))
+	if rate >= 1 {
+		s.threshold = ^uint64(0)
+	}
+	return s
+}
+
+// sample returns true for approximately rate of calls.
+func (s *sampler) sample() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state ^= s.state >> 12
+	s.state ^= s.state << 25
+	s.state ^= s.state >> 27
+	v := s.state * 2685821657736338717
+	return v>>1 < s.threshold
+}

@@ -119,12 +119,14 @@ type Config struct {
 	Observer SyncObserver
 }
 
-// Acquisition is one lock grant, for determinism checking.
+// Acquisition is one lock grant, for determinism checking. The JSON tags
+// define the wire format used when traces are persisted (service layer,
+// examples/replay).
 type Acquisition struct {
-	Lock   int
-	Thread int
-	Clock  int64 // logical clock right after the grant (0 under FCFS)
-	Phys   int64 // physical grant time
+	Lock   int   `json:"lock"`
+	Thread int   `json:"thread"`
+	Clock  int64 `json:"clock"` // logical clock right after the grant (0 under FCFS)
+	Phys   int64 `json:"phys"`  // physical grant time
 }
 
 // Stats aggregates a finished run.

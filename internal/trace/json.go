@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON wire format. A schedule serializes as {"events":[...]} so the format
+// can grow (e.g. a version field) without breaking stored schedules — the
+// service result cache and examples/replay persist schedules in this form.
+// Determinism makes the format canonical: the same program and config always
+// serialize to the same bytes.
+type scheduleJSON struct {
+	Events []Event `json:"events"`
+}
+
+// MarshalJSON serializes the schedule's events.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	return json.Marshal(scheduleJSON{Events: s.Events()})
+}
+
+// UnmarshalJSON replaces the schedule's contents with the serialized events.
+// Sequence numbers must be dense and ascending from 0 (the invariant Record
+// maintains), so a corrupted or hand-edited file fails loudly instead of
+// producing false divergence reports.
+func (s *Schedule) UnmarshalJSON(b []byte) error {
+	var w scheduleJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	for i, e := range w.Events {
+		if e.Seq != int64(i) {
+			return fmt.Errorf("trace: corrupt schedule: event %d has seq %d", i, e.Seq)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events[:0], w.Events...)
+	return nil
+}

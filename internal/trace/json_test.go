@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// randomSchedule builds a schedule with n pseudo-random events.
+func randomSchedule(rng *rand.Rand, n int) *Schedule {
+	s := New()
+	clock := int64(0)
+	for i := 0; i < n; i++ {
+		clock += rng.Int63n(50)
+		s.Record(rng.Intn(8), rng.Intn(6), clock)
+	}
+	return s
+}
+
+// TestScheduleJSONRoundTrip is the round-trip property: for any schedule,
+// Unmarshal(Marshal(s)) compares identical to s and preserves its hash.
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchedule(rng, rng.Intn(200))
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		got := New()
+		if err := json.Unmarshal(data, got); err != nil {
+			t.Fatalf("seed %d: unmarshal: %v", seed, err)
+		}
+		if d := Compare(s, got); d.Diverged {
+			t.Fatalf("seed %d: round trip diverged: %s", seed, d)
+		}
+		if s.Hash() != got.Hash() {
+			t.Fatalf("seed %d: hash changed across round trip", seed)
+		}
+		// Serialization is canonical: re-marshaling yields identical bytes.
+		again, err := json.Marshal(got)
+		if err != nil {
+			t.Fatalf("seed %d: re-marshal: %v", seed, err)
+		}
+		if string(data) != string(again) {
+			t.Fatalf("seed %d: marshaling is not canonical", seed)
+		}
+	}
+}
+
+// TestScheduleJSONOverwrites verifies Unmarshal replaces prior contents
+// (loading into a reused schedule must not append).
+func TestScheduleJSONOverwrites(t *testing.T) {
+	src := New()
+	src.Record(1, 0, 10)
+	data, _ := json.Marshal(src)
+
+	dst := New()
+	dst.Record(7, 3, 99)
+	dst.Record(2, 1, 100)
+	if err := json.Unmarshal(data, dst); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if d := Compare(src, dst); d.Diverged {
+		t.Fatalf("unmarshal did not replace contents: %s", d)
+	}
+}
+
+// TestScheduleJSONRejectsCorruptSeq: a tampered sequence numbering fails the
+// load instead of silently renumbering.
+func TestScheduleJSONRejectsCorruptSeq(t *testing.T) {
+	bad := []byte(`{"events":[{"seq":3,"lock":0,"thread":0,"clock":1}]}`)
+	if err := json.Unmarshal(bad, New()); err == nil {
+		t.Fatal("corrupt seq accepted")
+	}
+}
+
+// TestAcquisitionJSONRoundTrip round-trips simulator acquisition traces,
+// including conversion through FromSim.
+func TestAcquisitionJSONRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		var acqs []sim.Acquisition
+		phys := int64(0)
+		for i := 0; i < rng.Intn(100); i++ {
+			phys += rng.Int63n(30)
+			acqs = append(acqs, sim.Acquisition{
+				Lock: rng.Intn(8), Thread: rng.Intn(6), Clock: rng.Int63n(1000), Phys: phys,
+			})
+		}
+		data, err := json.Marshal(acqs)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		var got []sim.Acquisition
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("seed %d: unmarshal: %v", seed, err)
+		}
+		if len(got) != len(acqs) {
+			t.Fatalf("seed %d: length %d != %d", seed, len(got), len(acqs))
+		}
+		for i := range acqs {
+			if acqs[i] != got[i] {
+				t.Fatalf("seed %d: acquisition %d: %+v != %+v", seed, i, got[i], acqs[i])
+			}
+		}
+		// The schedule built from the reloaded trace matches the original.
+		if d := Compare(FromSim(acqs), FromSim(got)); d.Diverged {
+			t.Fatalf("seed %d: FromSim diverged after round trip: %s", seed, d)
+		}
+	}
+}

@@ -15,12 +15,13 @@ import (
 	"repro/internal/sim"
 )
 
-// Event is one synchronization event in a schedule.
+// Event is one synchronization event in a schedule. The JSON tags define the
+// wire format used by Schedule.MarshalJSON and the service layer.
 type Event struct {
-	Seq    int64 // global sequence number
-	Lock   int   // lock identity
-	Thread int   // acquiring thread
-	Clock  int64 // logical clock right after the acquisition
+	Seq    int64 `json:"seq"`    // global sequence number
+	Lock   int   `json:"lock"`   // lock identity
+	Thread int   `json:"thread"` // acquiring thread
+	Clock  int64 `json:"clock"`  // logical clock right after the acquisition
 }
 
 // Schedule is an ordered list of synchronization events.
