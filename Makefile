@@ -1,7 +1,7 @@
 GO ?= go
 TIMEOUT ?= 10m
 
-.PHONY: check build vet test race bench serve-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke
 
 # check is what CI runs: build, vet, full test suite under the race detector.
 check: build vet race
@@ -18,11 +18,26 @@ test:
 race:
 	$(GO) test -race -timeout $(TIMEOUT) ./...
 
-# bench runs the robustness bench guards: watchdog-disabled lock throughput
-# must stay within noise of the plain runtime, and the disabled race
-# detector must add no allocations to the simulator hot loop.
+# bench runs every committed benchmark at full benchtime: the robustness
+# guards at the repo root plus the hot-loop reference-vs-optimized pairs
+# (interpreter dispatch, engine scheduler, race detector on/off).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkDetRuntimeWatchdog|BenchmarkRaceDetectorOff' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkInterpDispatch|BenchmarkRaceDetector' -benchmem ./internal/interp/
+	$(GO) test -run '^$$' -bench BenchmarkEngineSweep -benchmem ./internal/sim/
+
+# bench-smoke is the CI variant: one iteration of each hot-loop benchmark,
+# enough to catch a broken benchmark or an allocation regression without
+# paying full measurement time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkInterpDispatch|BenchmarkRaceDetector' -benchtime 1x -benchmem ./internal/interp/
+	$(GO) test -run '^$$' -bench BenchmarkEngineSweep -benchtime 1x -benchmem ./internal/sim/
+
+# bench-json regenerates the committed benchmark trajectory (BENCH_PR4.json):
+# service latency cold/warm, interpreter MIPS, engine events/sec, and race
+# overhead across the five splash workloads. See EXPERIMENTS.md.
+bench-json:
+	$(GO) run ./cmd/detbench -bench-json BENCH_PR4.json
 
 # serve-smoke proves the service end to end: detserve starts on a random
 # loopback port, the quickstart program is submitted twice over HTTP, and

@@ -1,0 +1,113 @@
+package main
+
+// The -bench-json mode: measure the hot-loop rates and the service
+// submit→result latency, and write the BENCH_PR4.json benchmark report.
+// The committed file at the repo root is regenerated with:
+//
+//	go run ./cmd/detbench -bench-json BENCH_PR4.json
+//
+// (see EXPERIMENTS.md). -bench-short reduces repetitions for the CI smoke
+// run; committed numbers are generated without it.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// benchProgram is the README quickstart program (four threads contending on
+// one lock) — the payload for the service-latency measurement, chosen so the
+// numbers are reproducible from the documented quickstart.
+const benchProgram = `
+module quickstart
+locks 1
+global counter 1
+
+func main() regs 6 {
+entry:
+  r0 = tid
+  r1 = const 0
+  jmp loop
+loop:
+  r2 = lt r1, 4
+  br r2, body, done
+body:
+  lock 0
+  r3 = load counter[0]
+  r3 = add r3, 1
+  store counter[0], r3
+  unlock 0
+  r1 = add r1, 1
+  jmp loop
+done:
+  ret r1
+}
+`
+
+// runBenchJSON produces the benchmark report and writes it to path.
+func runBenchJSON(r *harness.Runner, path string, short bool) error {
+	rep, err := r.BenchSuite(short)
+	if err != nil {
+		return err
+	}
+	rep.GeneratedWith = "go run ./cmd/detbench -bench-json " + path
+	if short {
+		rep.GeneratedWith += " -bench-short"
+	}
+
+	cold, warm, err := serviceLatency()
+	if err != nil {
+		return err
+	}
+	rep.ServiceColdMS = cold
+	rep.ServiceWarmMS = warm
+
+	if err := os.WriteFile(path, rep.JSON(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: sweep %.2fs -> %.2fs (%.2fx), service cold %.2fms warm %.3fms\n",
+		rep.SweepSecondsReference, rep.SweepSecondsOptimized, rep.SweepSpeedup,
+		rep.ServiceColdMS, rep.ServiceWarmMS)
+	for _, wb := range rep.Benchmarks {
+		fmt.Printf("bench: %-10s %7.2f MIPS %10.0f events/s  race +%.1f%%\n",
+			wb.Name, wb.InterpMIPS, wb.EngineEventsPerSec, wb.RaceOverheadPct)
+	}
+	fmt.Println("bench: wrote", path)
+	return nil
+}
+
+// serviceLatency measures the submit→result wall-clock of the quickstart
+// program through the service layer: cold (empty caches, full
+// parse→instrument→simulate pipeline) and warm (content-addressed
+// result-cache hit).
+func serviceLatency() (coldMS, warmMS float64, err error) {
+	svc := service.New(service.Config{Workers: 1})
+	ctx := context.Background()
+	defer svc.Close(ctx)
+
+	req := service.Request{Source: benchProgram}
+	start := time.Now()
+	res, err := svc.Do(ctx, req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("service cold run: %w", err)
+	}
+	coldMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	if res.Cached {
+		return 0, 0, fmt.Errorf("service cold run unexpectedly hit the cache")
+	}
+
+	start = time.Now()
+	res, err = svc.Do(ctx, req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("service warm run: %w", err)
+	}
+	warmMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	if !res.Cached {
+		return 0, 0, fmt.Errorf("service warm run missed the result cache")
+	}
+	return coldMS, warmMS, nil
+}

@@ -12,6 +12,10 @@
 //	detbench -bench name        # restrict Table I/II to one benchmark
 //	detbench -race              # fail-fast race detection on deterministic runs
 //	detbench -j N               # worker pool for the sweep (default GOMAXPROCS)
+//	detbench -bench-json PATH   # write the BENCH_PR4.json benchmark report
+//	detbench -bench-short       # single-rep smoke variant of -bench-json
+//	detbench -cpuprofile PATH   # write a pprof CPU profile of the run
+//	detbench -memprofile PATH   # write an end-of-run heap profile
 //
 // The (benchmark × optimization × mode) sweep cells are independent
 // simulations, so -j runs them on a worker pool; the rendered tables are
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 	"repro/internal/splash"
@@ -44,6 +49,11 @@ func main() {
 		diag     = flag.String("diag", "", "print per-mode diagnostics for one benchmark")
 		race     = flag.Bool("race", false, "enable fail-fast race detection on deterministic runs")
 		jobs     = flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+
+		benchJSON  = flag.String("bench-json", "", "write the benchmark report (BENCH_PR4.json schema) to this path and exit")
+		benchShort = flag.Bool("bench-short", false, "single-repetition -bench-json smoke run (committed numbers use full reps)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this path")
 	)
 	flag.Parse()
 	// Validate flags up front: bad invocations get a short usage message,
@@ -67,10 +77,46 @@ func main() {
 	if *diag != "" && !knownBench(*diag) {
 		usage("unknown -diag %q (want one of %v)", *diag, splash.Names())
 	}
+	if *benchShort && *benchJSON == "" {
+		usage("-bench-short requires -bench-json")
+	}
 	workers := *jobs
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	// Profiles flush on every exit path: fail() routes through finish too.
+	finish := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			usage("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			usage("-cpuprofile: %v", err)
+		}
+		finish = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprofile != "" {
+		prev := finish
+		finish = func() {
+			prev()
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "detbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "detbench: -memprofile:", err)
+			}
+		}
+	}
+	defer finish()
 	if *diag != "" {
 		r := harness.NewRunner()
 		r.Threads = *threads
@@ -91,7 +137,15 @@ func main() {
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "detbench:", err)
+		finish()
 		os.Exit(1)
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(r, *benchJSON, *benchShort); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *table1 || *all {

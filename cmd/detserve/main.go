@@ -5,7 +5,7 @@
 // Usage:
 //
 //	detserve [-addr :8080] [-workers N] [-queue N] [-self-check RATE] \
-//	         [-instr-cache N] [-result-cache N]
+//	         [-instr-cache N] [-result-cache N] [-pprof ADDR]
 //	detserve -smoke
 //
 // Endpoints:
@@ -19,6 +19,10 @@
 // Status codes: 400 for configuration misuse, 404 for unknown jobs, 422 for
 // jobs that failed with a structured report (deadlock, race, divergence),
 // 429 when the bounded queue is full, 503 while shutting down.
+//
+// -pprof ADDR serves net/http/pprof on a second, separate listener (e.g.
+// -pprof localhost:6060), keeping the profiling surface off the job API's
+// address. See README "Profiling".
 //
 // -smoke runs the self-test used by `make serve-smoke`: start an in-process
 // server on a random port, submit the same program twice, and verify the
@@ -35,6 +39,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +56,7 @@ func main() {
 		instrCache  = flag.Int("instr-cache", 0, "instrumentation cache entries (0 = default)")
 		resultCache = flag.Int("result-cache", 0, "result cache entries (0 = default)")
 		selfCheck   = flag.Float64("self-check", 0, "fraction of cache hits to re-execute and verify (0..1)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		smoke       = flag.Bool("smoke", false, "run the cache-coherence smoke test and exit")
 	)
 	flag.Parse()
@@ -85,7 +91,7 @@ func main() {
 		return
 	}
 
-	if err := serve(*addr, cfg); err != nil {
+	if err := serve(*addr, *pprofAddr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "detserve:", err)
 		os.Exit(1)
 	}
@@ -93,7 +99,7 @@ func main() {
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains: the listener
 // closes first, then the service finishes every accepted job.
-func serve(addr string, cfg service.Config) error {
+func serve(addr, pprofAddr string, cfg service.Config) error {
 	svc := service.New(cfg)
 	srv := &http.Server{Addr: addr, Handler: newHandler(svc)}
 
@@ -101,6 +107,19 @@ func serve(addr string, cfg service.Config) error {
 	defer stop()
 
 	errCh := make(chan error, 1)
+	if pprofAddr != "" {
+		// The job API uses its own mux, so the pprof handlers go on a second
+		// listener rather than leaking onto the public address. A startup
+		// failure here (port taken) should abort like one on the main port.
+		psrv := &http.Server{Addr: pprofAddr, Handler: pprofHandler()}
+		defer psrv.Close()
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errCh <- fmt.Errorf("pprof listener: %w", err)
+			}
+		}()
+		fmt.Printf("detserve: pprof on http://%s/debug/pprof/\n", pprofAddr)
+	}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
@@ -122,6 +141,19 @@ func serve(addr string, cfg service.Config) error {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
 	return svc.Close(shutCtx)
+}
+
+// pprofHandler builds the standard pprof surface on an isolated mux (the
+// net/http/pprof import also registers on DefaultServeMux, but nothing here
+// serves that mux).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // newHandler wires the service into a Go 1.22 pattern-routing mux.

@@ -1,0 +1,168 @@
+package harness
+
+// The committed benchmark trajectory: BenchReport is the schema of
+// BENCH_PR4.json, the repo's performance baseline. `detbench -bench-json`
+// regenerates it; future hot-path PRs append comparable files (BENCH_PR5,
+// ...) so the speedup claims in DESIGN.md §8 stay falsifiable.
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/splash"
+)
+
+// BenchReport aggregates the measurements the PR-4 acceptance criteria
+// commit to the repository.
+type BenchReport struct {
+	// Threads is the simulated thread count of every measurement.
+	Threads int `json:"threads"`
+	// GeneratedWith records the command that produced the file.
+	GeneratedWith string `json:"generated_with"`
+
+	// Sweep wall-clock: the full Table I + Table II grid, sequentially, on
+	// the reference implementations vs the optimized ones.
+	SweepSecondsReference float64 `json:"sweep_seconds_reference"`
+	SweepSecondsOptimized float64 `json:"sweep_seconds_optimized"`
+	SweepSpeedup          float64 `json:"sweep_speedup"`
+
+	// Service submit→result latency for the quickstart program: cold
+	// (caches empty) and warm (content-addressed result-cache hit).
+	// Measured by cmd/detbench (the service layer sits above this package).
+	ServiceColdMS float64 `json:"service_cold_ms,omitempty"`
+	ServiceWarmMS float64 `json:"service_warm_ms,omitempty"`
+
+	// Benchmarks holds the per-workload hot-loop rates.
+	Benchmarks []WorkloadBench `json:"benchmarks"`
+}
+
+// WorkloadBench is one splash workload's measured rates, taken from an
+// all-optimizations deterministic run — the configuration the paper's
+// tables are built from.
+type WorkloadBench struct {
+	Name string `json:"name"`
+	// InterpMIPS is millions of simulated instructions retired per
+	// wall-clock second.
+	InterpMIPS float64 `json:"interp_mips"`
+	// EngineEventsPerSec is engine scheduler iterations per wall-clock
+	// second on the same run.
+	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
+	// RaceOverheadPct is the wall-clock cost of enabling the race detector
+	// on that run, in percent.
+	RaceOverheadPct float64 `json:"race_detector_overhead_pct"`
+}
+
+// SweepSeconds times the full Table I + Table II grid, sequentially, with
+// the runner's current Reference setting. The grid result is discarded;
+// only the wall-clock matters here (correctness is the equivalence tests'
+// job).
+func (r *Runner) SweepSeconds() (float64, error) {
+	saved := r.Workers
+	r.Workers = 1
+	defer func() { r.Workers = saved }()
+	start := time.Now()
+	if _, err := r.TableI(); err != nil {
+		return 0, err
+	}
+	if _, err := r.TableII(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// BenchSuite measures the sweep speedup and per-workload rates. short
+// reduces repetition for smoke runs; the committed BENCH_PR4.json is
+// generated with short=false.
+func (r *Runner) BenchSuite(short bool) (*BenchReport, error) {
+	rep := &BenchReport{Threads: r.Threads}
+
+	ref := *r
+	ref.Reference = true
+	reps := 3
+	if short {
+		reps = 1
+	}
+	best := func(run func() (float64, error)) (float64, error) {
+		var min float64
+		for i := 0; i < reps; i++ {
+			s, err := run()
+			if err != nil {
+				return 0, err
+			}
+			if i == 0 || s < min {
+				min = s
+			}
+		}
+		return min, nil
+	}
+	var err error
+	if rep.SweepSecondsReference, err = best(ref.SweepSeconds); err != nil {
+		return nil, err
+	}
+	if rep.SweepSecondsOptimized, err = best(r.SweepSeconds); err != nil {
+		return nil, err
+	}
+	if rep.SweepSecondsOptimized > 0 {
+		rep.SweepSpeedup = rep.SweepSecondsReference / rep.SweepSecondsOptimized
+	}
+
+	for _, name := range splash.Names() {
+		wb, err := r.workloadBench(name, reps)
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, *wb)
+	}
+	return rep, nil
+}
+
+// workloadBench measures one workload's interpreter and engine rates on the
+// all-optimizations deterministic configuration, and the race detector's
+// wall-clock overhead on top of it.
+func (r *Runner) workloadBench(name string, reps int) (*WorkloadBench, error) {
+	run := func(race bool) (*RunResult, float64, error) {
+		rr := *r
+		rr.RaceCheck = race
+		var res *RunResult
+		var min float64
+		for i := 0; i < reps; i++ {
+			b, err := rr.benchFor(name)
+			if err != nil {
+				return nil, 0, err
+			}
+			start := time.Now()
+			res, err = rr.Run(b, PresetByKey("all"), ModeDet, 0)
+			if err != nil {
+				return nil, 0, err
+			}
+			if s := time.Since(start).Seconds(); i == 0 || s < min {
+				min = s
+			}
+		}
+		return res, min, nil
+	}
+	res, plain, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	_, raced, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	wb := &WorkloadBench{Name: name}
+	if plain > 0 {
+		wb.InterpMIPS = float64(res.Instrs) / plain / 1e6
+		wb.EngineEventsPerSec = float64(res.Steps) / plain
+		wb.RaceOverheadPct = (raced/plain - 1) * 100
+	}
+	return wb, nil
+}
+
+// JSON renders the report in the committed BENCH_PR4.json format.
+func (rep *BenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic("harness: bench report marshal: " + err.Error())
+	}
+	return append(out, '\n')
+}

@@ -47,6 +47,7 @@ type RunResult struct {
 	ClockUpdates int64
 	Interrupts   int64
 	Instrs       int64
+	Steps        int64 // engine events (scheduler iterations)
 	Clockable    int
 	Trace        []sim.Acquisition
 }
@@ -90,6 +91,22 @@ type Runner struct {
 	// simulation, so the pool changes wall-clock time only: reports are
 	// byte-identical to a sequential run. 0 or 1 runs sequentially.
 	Workers int
+	// Reference selects the pre-optimization implementations of all three
+	// hot loops (tree-walking interpreter, scanning scheduler, always-join
+	// race detector). Results must be byte-identical either way — the
+	// equivalence property tests run every workload through both.
+	Reference bool
+	// JitterSeed, when non-zero, perturbs physical timing deterministically
+	// (interp.Config.JitterSeed): the seed-sweep property tests use it to
+	// vary executions without touching logical behavior.
+	JitterSeed int64
+
+	// dcache shares decoded instruction streams across the sweep's machines
+	// and cache memoizes benchmark construction and instrumentation
+	// (prep.go). Both are pointers, so Runner copies (BenchSuite flips
+	// Reference on a copy) share them; zero-value Runners run uncached.
+	dcache *interp.DCache
+	cache  *prepCache
 }
 
 // NewRunner returns a runner with the paper's defaults (4 threads).
@@ -99,31 +116,40 @@ func NewRunner() *Runner {
 		Costs:       ir.DefaultCostModel(),
 		Est:         estimates.DefaultTable(),
 		KendoChunks: []int64{100, 250, 1000, 4000, 16000, 64000},
+		dcache:      interp.NewDCache(),
+		cache:       newPrepCache(),
 	}
 }
 
 // Run executes one benchmark under one mode/preset configuration.
 // The opt parameter is ignored for ModeBaseline and ModeKendo.
 func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChunk int64) (*RunResult, error) {
-	m := b.Module.Clone()
 	res := &RunResult{Mode: mode}
 
-	instrument := mode == ModeClocksOnly || mode == ModeDet
-	if instrument {
+	// Uninstrumented modes execute the benchmark module directly — the
+	// interpreter never writes a module — while instrumenting modes run a
+	// cached instrumented clone (prep.go).
+	m := b.Module
+	if mode == ModeClocksOnly || mode == ModeDet {
 		opt.Roots = []string{b.Entry}
-		ir2, err := core.Instrument(m, r.Costs, r.Est, opt)
+		im, clockable, err := r.instrument(b.Module, opt)
 		if err != nil {
 			return nil, fmt.Errorf("harness: instrument %s: %w", b.Name, err)
 		}
-		res.Clockable = len(ir2.Clockable)
+		m = im
+		res.Clockable = clockable
 	}
 
 	cfg := interp.Config{
-		Module:    m,
-		Costs:     r.Costs,
-		Estimates: r.Est,
-		Threads:   b.Threads,
-		Entry:     b.Entry,
+		Module:     m,
+		Costs:      r.Costs,
+		Estimates:  r.Est,
+		Threads:    b.Threads,
+		Entry:      b.Entry,
+		Reference:  r.Reference,
+		JitterSeed: r.JitterSeed,
+		DCache:     r.dcache,
+		SkipVerify: r.verified(m),
 	}
 	if mode == ModeKendo {
 		cfg.Mode = interp.ModeKendo
@@ -131,7 +157,7 @@ func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChun
 	}
 	deterministic := mode == ModeDet || mode == ModeKendo
 	if r.RaceCheck && deterministic {
-		cfg.Race = &interp.RaceConfig{Policy: interp.RaceFailFast}
+		cfg.Race = &interp.RaceConfig{Policy: interp.RaceFailFast, Reference: r.Reference}
 	}
 	mach, threads, err := interp.NewMachine(cfg)
 	if err != nil {
@@ -148,6 +174,7 @@ func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChun
 		NumBarriers: m.NumBars,
 		RecordTrace: r.RecordTraces,
 		Observer:    mach.Observer(),
+		Reference:   r.Reference,
 	}, interp.Programs(threads))
 	stats, err := eng.Run()
 	if err != nil {
@@ -159,6 +186,7 @@ func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChun
 	res.ClockUpdates = mach.ClockUpdates
 	res.Interrupts = mach.Interrupts
 	res.Instrs = mach.InstrsExecuted
+	res.Steps = stats.Steps
 	res.Trace = stats.Trace
 	return res, nil
 }

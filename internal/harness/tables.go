@@ -35,7 +35,7 @@ func (r *Runner) TableI() (*TableIReport, error) {
 
 // TableIFor runs a single benchmark's Table I column (used by benches).
 func (r *Runner) TableIFor(name string) (*BenchTableI, error) {
-	b, err := splash.New(name, r.Threads)
+	b, err := r.benchFor(name)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +202,7 @@ func (r *Runner) TableII() (*TableIIReport, error) {
 
 // TableIIFor runs one benchmark's Table II row.
 func (r *Runner) TableIIFor(name string) (*BenchTableII, error) {
-	b, err := splash.New(name, r.Threads)
+	b, err := r.benchFor(name)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +290,7 @@ type Fig15Report struct {
 
 // Fig15 runs the ahead-of-time ablation on Radiosity.
 func (r *Runner) Fig15() (*Fig15Report, error) {
-	b, err := splash.New("radiosity", r.Threads)
+	b, err := r.benchFor("radiosity")
 	if err != nil {
 		return nil, err
 	}

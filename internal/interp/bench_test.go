@@ -1,0 +1,165 @@
+package interp
+
+// Hot-loop benchmarks for the decoded-dispatch interpreter and the race
+// detector, plus the allocation guard for the detector's pooled epoch
+// buffers. `make bench` runs these alongside the sim and top-level suites;
+// BENCH_PR4.json records the shipped numbers (see EXPERIMENTS.md).
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// dispatchSrc mirrors the sweep's dynamic mix (long add runs with a little
+// logic sprinkled in — see the fuseAddRuns rationale in decode.go) so the
+// dispatch benchmark measures the instruction stream the tables actually
+// execute.
+const dispatchSrc = `
+module dispatch
+global out 1
+
+func main() regs 16 {
+entry:
+  r0 = const 0
+  r1 = const 0
+  jmp loop
+loop:
+  r2 = lt r0, 20000
+  br r2, body, done
+body:
+  r1 = add r1, r0
+  r3 = add r1, 7
+  r4 = add r3, r0
+  r5 = add r4, r1
+  r6 = add r5, 3
+  r1 = add r6, r1
+  r1 = and r1, 1048575
+  r0 = add r0, 1
+  jmp loop
+done:
+  store out[0], r1
+  ret r1
+}
+`
+
+// raceSrc keeps four threads loading and storing thread-private words of a
+// shared global: every access goes through the detector, none races, so the
+// benchmark isolates detection overhead rather than report construction.
+const raceSrc = `
+module racebench
+global data 8
+
+func main() regs 16 {
+entry:
+  r0 = tid
+  r1 = const 0
+  jmp loop
+loop:
+  r2 = lt r1, 2000
+  br r2, body, done
+body:
+  r3 = load data[r0]
+  r3 = add r3, r1
+  store data[r0], r3
+  r1 = add r1, 1
+  jmp loop
+done:
+  ret r1
+}
+`
+
+// benchRun executes one machine to completion and returns it.
+func benchRun(b *testing.B, m *ir.Module, threads int, ref bool, race *RaceConfig) *Machine {
+	b.Helper()
+	mach, ths, err := NewMachine(Config{
+		Module:    m,
+		Threads:   threads,
+		Entry:     "main",
+		Mode:      ModeDetLock,
+		Reference: ref,
+		Race:      race,
+	})
+	if err != nil {
+		b.Fatalf("NewMachine: %v", err)
+	}
+	eng := sim.New(sim.Config{
+		Policy:      sim.PolicyDet,
+		NumLocks:    m.NumLocks,
+		NumBarriers: m.NumBars,
+		Observer:    mach.Observer(),
+		Reference:   ref,
+	}, Programs(ths))
+	if _, err := eng.Run(); err != nil {
+		b.Fatalf("engine: %v", err)
+	}
+	return mach
+}
+
+// BenchmarkInterpDispatch compares the reference tree-walking step loop with
+// the decoded dispatch loop on the same program; the MIPS metric is the one
+// BENCH_PR4.json commits.
+func BenchmarkInterpDispatch(b *testing.B) {
+	m := ir.MustParse(dispatchSrc)
+	for _, ref := range []bool{true, false} {
+		name := "decoded"
+		if ref {
+			name = "reference"
+		}
+		b.Run(name, func(b *testing.B) {
+			var instrs int64
+			for i := 0; i < b.N; i++ {
+				instrs += benchRun(b, m, 1, ref, nil).InstrsExecuted
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "MIPS")
+		})
+	}
+}
+
+// BenchmarkRaceDetectorOn/Off measure the per-access cost of the armed
+// detector (epoch fast path included) against the same run with detection
+// disabled.
+func BenchmarkRaceDetectorOn(b *testing.B) {
+	m := ir.MustParse(raceSrc)
+	for i := 0; i < b.N; i++ {
+		mach := benchRun(b, m, 4, false, &RaceConfig{Policy: RaceReport})
+		if n := len(mach.Races()); n != 0 {
+			b.Fatalf("unexpected races: %d", n)
+		}
+	}
+}
+
+func BenchmarkRaceDetectorOff(b *testing.B) {
+	m := ir.MustParse(raceSrc)
+	for i := 0; i < b.N; i++ {
+		benchRun(b, m, 4, false, nil)
+	}
+}
+
+// TestRaceDetectorSteadyStateAllocs pins the detector's pooled buffers:
+// after a warm round allocates the shadow epochs (and poisons the
+// deliberately racy cells), further accesses — same-epoch refreshes,
+// foreign-write rewrites, and read-slot churn across truncating writes —
+// reuse the pooled vc copies and reclaimed read slots, so the access path
+// allocates nothing.
+func TestRaceDetectorSteadyStateAllocs(t *testing.T) {
+	m := ir.MustParse(raceSrc)
+	d := newRaceDetector(RaceConfig{Policy: RaceReport}, m, 4)
+	pattern := func() {
+		for tid := 0; tid < 4; tid++ {
+			for a := int64(0); a < 8; a++ {
+				if d.access(tid, "data", a, a, false, "main", "body", 0) != nil {
+					t.Fatal("unexpected fail-fast error")
+				}
+				if d.access(tid, "data", a, a, true, "main", "body", 2) != nil {
+					t.Fatal("unexpected fail-fast error")
+				}
+			}
+		}
+	}
+	pattern() // warm: allocate epoch entries and reports once
+	if n := testing.AllocsPerRun(20, pattern); n > 0 {
+		t.Errorf("steady-state race detection allocates %.1f times per pattern, want 0", n)
+	}
+}

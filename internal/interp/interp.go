@@ -21,6 +21,8 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"math"
+	"unsafe"
 
 	"repro/internal/estimates"
 	"repro/internal/ir"
@@ -87,6 +89,26 @@ type Config struct {
 	// defaults to 16 when a seed is set.
 	JitterSeed int64
 	JitterAmp  int64
+
+	// Reference selects the original tree-walking interpreter instead of the
+	// decoded-dispatch loop (decode.go). Both produce byte-identical steps,
+	// cycle counts, stats, and errors; the reference path exists as the
+	// equivalence oracle for the property tests and as a fallback while
+	// triaging suspected decode bugs.
+	Reference bool
+
+	// DCache, when non-nil, shares decoded instruction streams across
+	// machines (decoded streams are machine-independent; see dcache.go).
+	// The table sweeps build hundreds of machines over the same handful of
+	// modules, so sharing removes all but the first decode of each function.
+	DCache *DCache
+
+	// SkipVerify certifies that Module already passed Verify with this
+	// Estimates table. The harness verifies each module once and then runs
+	// many machines over it; re-verifying per machine is measurable on the
+	// sweep. Never set it for a module that has been mutated since its
+	// Verify.
+	SkipVerify bool
 }
 
 // Machine holds the state shared by all simulated threads of one run:
@@ -99,12 +121,24 @@ type Machine struct {
 	globals map[string][]int64
 	baseOff map[string]int64 // flat address base per global, for the cache model
 
+	// Slot-indexed views of the globals, in Module.Globals order: decoded
+	// loads/stores carry a slot index (machine-independent) instead of a
+	// buffer, and the dispatch loop resolves it through these tables.
+	gidx  map[string]int   // global name -> slot
+	gtab  [][]int64        // slot -> buffer
+	gptrs []unsafe.Pointer // slot -> buffer base (unchecked access path)
+
 	// spawned collects dynamically created threads so callers can read
 	// their outputs after the run.
 	spawned []*Thread
 
 	// race is the optional data-race detector; nil when disabled.
 	race *RaceDetector
+
+	// dcache memoizes decoded instruction streams per function (decode.go):
+	// a lock-free per-machine view in front of the optional shared
+	// Config.DCache.
+	dcache map[*ir.Func]*dcode
 
 	// Stats.
 	InstrsExecuted int64
@@ -171,8 +205,10 @@ func NewMachine(cfg Config) (*Machine, []*Thread, error) {
 	if entry.NumParams != 0 {
 		return nil, nil, fmt.Errorf("interp: entry function %q must take no parameters", cfg.Entry)
 	}
-	if err := cfg.Module.Verify(cfg.Estimates.Has); err != nil {
-		return nil, nil, fmt.Errorf("interp: %w", err)
+	if !cfg.SkipVerify {
+		if err := cfg.Module.Verify(cfg.Estimates.Has); err != nil {
+			return nil, nil, fmt.Errorf("interp: %w", err)
+		}
 	}
 	m := &Machine{
 		cfg:     cfg,
@@ -181,13 +217,18 @@ func NewMachine(cfg Config) (*Machine, []*Thread, error) {
 		est:     cfg.Estimates,
 		globals: map[string][]int64{},
 		baseOff: map[string]int64{},
+		gidx:    map[string]int{},
+		dcache:  map[*ir.Func]*dcode{},
 	}
 	var off int64
-	for _, g := range cfg.Module.Globals {
+	for i, g := range cfg.Module.Globals {
 		buf := make([]int64, g.Size)
 		copy(buf, g.Init)
 		m.globals[g.Name] = buf
 		m.baseOff[g.Name] = off
+		m.gidx[g.Name] = i
+		m.gtab = append(m.gtab, buf)
+		m.gptrs = append(m.gptrs, unsafe.Pointer(unsafe.SliceData(buf)))
 		off += g.Size
 	}
 	if cfg.Race != nil {
@@ -215,13 +256,20 @@ func Programs(threads []*Thread) []sim.Program {
 	return out
 }
 
-// frame is one call-stack entry.
+// frame is one call-stack entry. The reference interpreter walks
+// block/pc/retDst; the decoded path walks code/dpc/dretDst over the flat
+// instruction stream. A frame belongs to exactly one of the two worlds,
+// selected by Config.Reference at machine construction.
 type frame struct {
 	fn     *ir.Func
 	regs   []int64
 	block  *ir.Block
 	pc     int
 	retDst ir.Reg // destination register in the CALLER's frame
+
+	code    *dcode // decoded stream (nil under Config.Reference)
+	dpc     int32  // decoded program counter
+	dretDst int32  // caller-frame result register (scratch for ir.NoReg)
 }
 
 // Thread is a steppable interpreter for one simulated thread.
@@ -239,6 +287,24 @@ type Thread struct {
 	// jitterState is the per-thread xorshift state for physical-timing
 	// perturbation (Config.JitterSeed); 0 means not yet initialized.
 	jitterState uint64
+
+	// plain short-circuits Step to the decoded dispatcher: set when the
+	// machine runs optimized (non-reference) with jitter disabled.
+	plain bool
+
+	// Hot configuration mirrored from Machine.cfg at construction; the
+	// decoded dispatch prologue reads these instead of chasing m.cfg.
+	// chunk is MaxInt64 outside Kendo mode so the dispatch loop's accrual
+	// check can run unconditionally.
+	kendo       bool
+	maxCycles   int64
+	chunk       int64
+	missRate    int64
+	missPenalty int64
+
+	// argbuf is the reused builtin-call argument buffer of the decoded
+	// path; steady-state builtin calls allocate nothing.
+	argbuf []int64
 
 	// Output is the deterministic print log.
 	Output []int64
@@ -262,12 +328,37 @@ func (t *Thread) syncFlush() int64 {
 }
 
 func newThread(m *Machine, tid int, entry *ir.Func) *Thread {
-	t := &Thread{mach: m, tid: tid}
+	t := m.thread(tid)
 	t.push(entry, nil, ir.NoReg)
 	return t
 }
 
+// thread builds a bare Thread with the hot configuration mirrored onto it
+// (every construction path — initial threads and spawns — goes through
+// here so the mirrors can never go stale).
+func (m *Machine) thread(tid int) *Thread {
+	t := &Thread{mach: m, tid: tid}
+	t.plain = !m.cfg.Reference && m.cfg.JitterAmp <= 0
+	t.kendo = m.cfg.Mode == ModeKendo
+	t.maxCycles = m.cfg.MaxStepCycles
+	t.chunk = m.cfg.KendoChunkSize
+	if !t.kendo {
+		t.chunk = math.MaxInt64
+	}
+	t.missRate = m.cfg.MissRate
+	t.missPenalty = m.cfg.MissPenalty
+	return t
+}
+
 func (t *Thread) push(fn *ir.Func, args []int64, retDst ir.Reg) {
+	if !t.mach.cfg.Reference {
+		// retDst is only ever ir.NoReg here (root and spawned frames; the
+		// decoded call path pushes via pushFast directly), and a root
+		// frame's return target is never written, so 0 is safe.
+		regs := t.pushFast(t.mach.decode(fn), 0)
+		copy(regs, args)
+		return
+	}
 	regs := make([]int64, fn.NumRegs)
 	copy(regs, args)
 	t.stack = append(t.stack, frame{fn: fn, regs: regs, block: fn.Entry(), retDst: retDst})
@@ -298,11 +389,30 @@ func (t *Thread) setReg(r ir.Reg, v int64) {
 // the yielded span gains deterministic extra physical cycles — never a
 // logical-clock change, so deterministic schedules are jitter-invariant.
 func (t *Thread) Step() (sim.Step, error) {
-	st, err := t.step()
+	var st sim.Step
+	err := t.StepInto(&st)
+	return st, err
+}
+
+// StepInto is the out-parameter form of Step (sim.StepperInto): the engine
+// calls it on the optimized path so the decoded dispatch loop writes the
+// step straight into the engine's stack slot instead of copying the struct
+// through two interface returns.
+func (t *Thread) StepInto(st *sim.Step) error {
+	if t.plain {
+		// Decoded dispatch, no jitter: the common case.
+		return t.stepFast(st)
+	}
+	var err error
+	if t.mach.cfg.Reference {
+		*st, err = t.step()
+	} else {
+		err = t.stepFast(st)
+	}
 	if err == nil && t.mach.cfg.JitterAmp > 0 {
 		st.Cycles += t.nextJitter()
 	}
-	return st, err
+	return err
 }
 
 // nextJitter draws the next perturbation from the thread's xorshift stream,
@@ -475,7 +585,7 @@ func (t *Thread) execInstr(ins *ir.Instr, cycles *int64) (sim.Step, bool, error)
 			ClockDelta: t.syncFlush(),
 			SpawnDst:   dst,
 			NewProg: func(id int) sim.Program {
-				nt := &Thread{mach: t.mach, tid: id}
+				nt := t.mach.thread(id)
 				nt.push(callee, args, ir.NoReg)
 				t.mach.spawned = append(t.mach.spawned, nt)
 				return nt

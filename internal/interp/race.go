@@ -47,12 +47,22 @@ type RaceConfig struct {
 	// MaxReports caps collected reports under RaceReport (further races are
 	// counted, not stored). 0 means the default of 100.
 	MaxReports int
+	// Reference disables the FastTrack-style same-epoch fast path, forcing
+	// the full lockset/vector-clock comparison on every access. Reports are
+	// byte-identical either way (the fast path only skips re-deriving
+	// conclusions the slow path already reached in the same sync epoch);
+	// the equivalence property tests run both.
+	Reference bool
 }
 
 // raceEpoch is one remembered access in the shadow memory.
 type raceEpoch struct {
 	tid   int
 	write bool
+	// ver is the accessor's sync-epoch version (RaceDetector.ver) at the
+	// access: unchanged ver means the accessor's vector clock AND lockset
+	// are exactly as remembered, which is what licenses the fast path.
+	ver uint64
 	// clock is the accessor's own vector-clock component at the access.
 	clock int64
 	// vc is the accessor's vector clock at the access; the buffer is owned
@@ -94,6 +104,16 @@ type RaceDetector struct {
 	// shadow is indexed by flat global address (Machine.baseOff + index).
 	shadow []shadowCell
 
+	// ver[t] counts the synchronization events that touched thread t's
+	// vector clock or lockset (every observer hook below bumps the threads
+	// it mutates). Between bumps a thread's happens-before state is frozen,
+	// so a shadow epoch recorded at the same (tid, ver) was evaluated
+	// against *identical* detector state — the FastTrack-style fast path in
+	// access() exploits exactly that.
+	ver []uint64
+	// jointBuf is the reused join buffer for BarrierReleased.
+	jointBuf []int64
+
 	races      []*diag.RaceError
 	suppressed int
 }
@@ -128,6 +148,7 @@ func (d *RaceDetector) addThread(tid int) {
 		vc[t] = 1
 		d.vcs = append(d.vcs, vc)
 		d.locksets = append(d.locksets, nil)
+		d.ver = append(d.ver, 0)
 	}
 }
 
@@ -203,6 +224,7 @@ func (d *RaceDetector) Acquired(thread, lock int) {
 		ls = append(ls, lock)
 	}
 	d.locksets[thread] = ls
+	d.ver[thread]++
 }
 
 // Released: the lock remembers the releaser's clock, and the releaser
@@ -225,19 +247,22 @@ func (d *RaceDetector) Released(thread, lock int) {
 		}
 	}
 	d.locksets[thread] = ls
+	d.ver[thread]++
 }
 
 // BarrierReleased: every participant happens-before every participant's
 // post-barrier code — all clocks join, then each starts a new epoch.
 func (d *RaceDetector) BarrierReleased(threads []int) {
-	var joint []int64
+	joint := d.jointBuf[:0]
 	for _, t := range threads {
 		d.addThread(t)
 		joint = vcJoin(joint, d.vcs[t])
 	}
+	d.jointBuf = joint
 	for _, t := range threads {
 		d.vcs[t] = vcCopy(d.vcs[t], joint)
 		d.vcs[t][t]++
+		d.ver[t]++
 	}
 }
 
@@ -248,6 +273,8 @@ func (d *RaceDetector) Spawned(parent, child int) {
 	d.addThread(child)
 	d.vcs[child] = vcJoin(d.vcs[child], d.vcs[parent])
 	d.vcs[parent][parent]++
+	d.ver[parent]++
+	d.ver[child]++
 }
 
 // Joined: the waiter inherits everything the target did.
@@ -256,6 +283,7 @@ func (d *RaceDetector) Joined(waiter, target int) {
 	d.addThread(target)
 	d.vcs[waiter] = vcJoin(d.vcs[waiter], d.vcs[target])
 	d.vcs[waiter][waiter]++
+	d.ver[waiter]++
 }
 
 // --- access checking --------------------------------------------------------
@@ -280,6 +308,38 @@ func (d *RaceDetector) access(tid int, sym string, idx, addr int64, write bool, 
 	cell := &d.shadow[addr]
 	if tid >= len(d.vcs) {
 		d.addThread(tid)
+	}
+	if !d.cfg.Reference {
+		// Same-epoch fast paths (FastTrack's "same epoch" case adapted to
+		// this detector): a re-access by the thread that owns the matching
+		// shadow epoch, in the same sync epoch (ver unchanged → vector clock
+		// and lockset both unchanged), was already evaluated against this
+		// exact cell state — any race it could report would have poisoned
+		// the cell then. Only the remembered site needs refreshing; the
+		// lockset/vector-clock comparison and the vc copy are skipped.
+		if write {
+			// Presence of any read entry, or a foreign write, falls through:
+			// those paths can produce a report or must rewrite cell state.
+			if cell.hasWrite && cell.write.tid == tid && len(cell.reads) == 0 &&
+				cell.write.ver == d.ver[tid] && cell.write.clock == d.vcs[tid][tid] {
+				cell.write.fn, cell.write.block, cell.write.pc = fn, block, pc
+				return nil
+			}
+		} else {
+			// A surviving own read entry proves no write intervened (writes
+			// clear the read list), so the write-vs-read check from the
+			// entry's creation still stands.
+			for i := range cell.reads {
+				r := &cell.reads[i]
+				if r.tid == tid {
+					if r.ver == d.ver[tid] && r.clock == d.vcs[tid][tid] {
+						r.fn, r.block, r.pc = fn, block, pc
+						return nil
+					}
+					break
+				}
+			}
+		}
 	}
 	var report *raceEpoch
 	if !cell.poisoned {
@@ -316,6 +376,7 @@ func (d *RaceDetector) access(tid int, sym string, idx, addr int64, write bool, 
 		cell.hasWrite = true
 		cell.write.tid = tid
 		cell.write.write = true
+		cell.write.ver = d.ver[tid]
 		cell.write.clock = me[tid]
 		cell.write.vc = vcCopy(cell.write.vc, me)
 		cell.write.lockset = d.locksets[tid]
@@ -326,6 +387,7 @@ func (d *RaceDetector) access(tid int, sym string, idx, addr int64, write bool, 
 	for i := range cell.reads {
 		if cell.reads[i].tid == tid {
 			r := &cell.reads[i]
+			r.ver = d.ver[tid]
 			r.clock = me[tid]
 			r.vc = vcCopy(r.vc, me)
 			r.lockset = d.locksets[tid]
@@ -333,8 +395,23 @@ func (d *RaceDetector) access(tid int, sym string, idx, addr int64, write bool, 
 			return failErr
 		}
 	}
+	// New read entry: reclaim a slot truncated by an earlier write when the
+	// capacity is there (its vc buffer is reused by vcCopy), so steady-state
+	// detection stays allocation-free.
+	if n := len(cell.reads); n < cap(cell.reads) {
+		cell.reads = cell.reads[:n+1]
+		r := &cell.reads[n]
+		r.tid = tid
+		r.write = false
+		r.ver = d.ver[tid]
+		r.clock = me[tid]
+		r.vc = vcCopy(r.vc, me)
+		r.lockset = d.locksets[tid]
+		r.fn, r.block, r.pc = fn, block, pc
+		return failErr
+	}
 	cell.reads = append(cell.reads, raceEpoch{
-		tid: tid, clock: me[tid], vc: append([]int64(nil), me...),
+		tid: tid, ver: d.ver[tid], clock: me[tid], vc: append([]int64(nil), me...),
 		lockset: d.locksets[tid], fn: fn, block: block, pc: pc,
 	})
 	return failErr

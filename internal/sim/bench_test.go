@@ -1,0 +1,59 @@
+package sim
+
+// Scheduler hot-loop benchmark: the reference engine rescans every thread
+// per event (O(T) picks), the optimized engine keeps threads in an indexed
+// min-heap. Scripted programs keep the per-event work tiny — matching the
+// instrumented sweeps, which run only tens of instructions per engine event
+// — so the events/sec metric isolates scheduler overhead.
+
+import "testing"
+
+// sweepScripts builds one deterministic script per thread: many small
+// advances with a lock/unlock round every eighth event, under skewed clock
+// rates so the deterministic policy keeps reordering the heap.
+func sweepScripts(threads, events int) [][]Step {
+	scripts := make([][]Step, threads)
+	for t := 0; t < threads; t++ {
+		steps := make([]Step, 0, events+1)
+		for i := 0; i < events; i++ {
+			if i%8 == 7 {
+				steps = append(steps, lock(i%4), unlock(i%4))
+			} else {
+				steps = append(steps, adv(int64(3+(t+i)%5), int64(1+t%3)))
+			}
+		}
+		steps = append(steps, done())
+		scripts[t] = steps
+	}
+	return scripts
+}
+
+// BenchmarkEngineSweep compares the scanning reference scheduler with the
+// heap scheduler on the same scripted workload; the events/sec metric is
+// the one BENCH_PR4.json commits.
+func BenchmarkEngineSweep(b *testing.B) {
+	const threads, events = 16, 2000
+	for _, ref := range []bool{true, false} {
+		name := "heap"
+		if ref {
+			name = "reference"
+		}
+		b.Run(name, func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				scripts := sweepScripts(threads, events)
+				ps := make([]Program, threads)
+				for t := range scripts {
+					ps[t] = &scriptProg{steps: scripts[t]}
+				}
+				eng := New(Config{Policy: PolicyDet, NumLocks: 4, Reference: ref}, ps)
+				stats, err := eng.Run()
+				if err != nil {
+					b.Fatalf("Run: %v", err)
+				}
+				steps += stats.Steps
+			}
+			b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -65,6 +65,16 @@ type Program interface {
 	Step() (Step, error)
 }
 
+// StepperInto is an optional Program extension: StepInto writes the step
+// into *out instead of returning it, sparing the per-event copy of the Step
+// struct through the interface return. The engine uses it when available
+// (detected once per thread, never under Config.Reference — the reference
+// scheduler exercises the original interface). On error *out is
+// unspecified. Semantics are otherwise identical to Step.
+type StepperInto interface {
+	StepInto(out *Step) error
+}
+
 // SyncObserver receives synchronization events as the engine resolves them,
 // in resolution order. The race detector (package interp) advances its
 // vector clocks here; the hooks fire at the exact points the corresponding
@@ -117,6 +127,12 @@ type Config struct {
 	RecordTrace bool
 	// Observer, when non-nil, is notified of every synchronization event.
 	Observer SyncObserver
+	// Reference selects the original O(threads) scheduling implementation
+	// (linear pickRunnable scan, re-collected sort.Slice acquirer ordering)
+	// instead of the indexed run-queue heap. Both orderings are total on
+	// (key, id) with distinct ids, so schedules are byte-identical; the
+	// reference path is the oracle for the equivalence property tests.
+	Reference bool
 }
 
 // Acquisition is one lock grant, for determinism checking. The JSON tags
@@ -167,6 +183,7 @@ const (
 type tstate struct {
 	id     int
 	prog   Program
+	into   StepperInto // non-nil when prog implements StepperInto (optimized path)
 	status tstatus
 	phys   int64
 	clock  int64
@@ -174,6 +191,12 @@ type tstate struct {
 	wantLock int   // lock id while acquiring/blocked
 	readyAt  int64 // phys time at which the pending grant decision matured
 	waitFrom int64 // phys time the thread began waiting (for WaitCycles)
+
+	// hpos is the thread's index in the engine's run-queue heap, -1 while
+	// not enqueued. A thread's phys never changes while enqueued (wakeups
+	// set phys before the push; the stepped thread is popped first), so the
+	// heap never needs a decrease-key.
+	hpos int32
 }
 
 type lockState struct {
@@ -193,6 +216,17 @@ type Engine struct {
 	locks    []lockState
 	barriers []barState
 	stats    Stats
+
+	// runq is the run-queue min-heap ordered by (phys, id): exactly the
+	// runnable threads, except the one currently being stepped. Empty and
+	// unused under Config.Reference.
+	runq []*tstate
+	// acq tracks threads in tsAcquiring so settleAcquirers — which runs
+	// after every engine step — is O(1) in the common no-acquirer case
+	// instead of rescanning and re-sorting every thread. acqScratch is the
+	// reused (clock, id)-sorted snapshot for settlement passes.
+	acq        []*tstate
+	acqScratch []*tstate
 }
 
 // ErrDeadlock classifies the *diag.DeadlockError Run returns when no thread
@@ -217,17 +251,111 @@ func New(cfg Config, progs []Program) *Engine {
 		barriers: make([]barState, cfg.NumBarriers),
 	}
 	for i, p := range progs {
-		e.threads = append(e.threads, &tstate{id: i, prog: p})
+		t := &tstate{id: i, prog: p, hpos: -1}
+		if !cfg.Reference {
+			t.into, _ = p.(StepperInto)
+		}
+		e.threads = append(e.threads, t)
+		e.heapPush(t)
 	}
 	e.stats.PerThreadCycles = make([]int64, len(progs))
 	e.stats.FinalClocks = make([]int64, len(progs))
 	return e
 }
 
+// heapPush enqueues a runnable thread on the run queue; no-op under
+// Config.Reference and when the thread is already enqueued.
+func (e *Engine) heapPush(t *tstate) {
+	if e.cfg.Reference || t.hpos >= 0 {
+		return
+	}
+	t.hpos = int32(len(e.runq))
+	e.runq = append(e.runq, t)
+	e.heapUp(int(t.hpos))
+}
+
+// heapPop removes and returns the minimum-(phys, id) thread, nil when empty.
+func (e *Engine) heapPop() *tstate {
+	n := len(e.runq)
+	if n == 0 {
+		return nil
+	}
+	top := e.runq[0]
+	last := e.runq[n-1]
+	e.runq[n-1] = nil
+	e.runq = e.runq[:n-1]
+	if n > 1 {
+		e.runq[0] = last
+		last.hpos = 0
+		e.heapDown(0)
+	}
+	top.hpos = -1
+	return top
+}
+
+// heapLess orders the run queue by (phys, id); ids are distinct, so the
+// order is total and the heap minimum equals the reference scan's pick.
+func heapLess(a, b *tstate) bool {
+	if a.phys != b.phys {
+		return a.phys < b.phys
+	}
+	return a.id < b.id
+}
+
+func (e *Engine) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(e.runq[i], e.runq[parent]) {
+			break
+		}
+		e.runq[i], e.runq[parent] = e.runq[parent], e.runq[i]
+		e.runq[i].hpos = int32(i)
+		e.runq[parent].hpos = int32(parent)
+		i = parent
+	}
+}
+
+func (e *Engine) heapDown(i int) {
+	n := len(e.runq)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && heapLess(e.runq[l], e.runq[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && heapLess(e.runq[r], e.runq[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		e.runq[i], e.runq[least] = e.runq[least], e.runq[i]
+		e.runq[i].hpos = int32(i)
+		e.runq[least].hpos = int32(least)
+		i = least
+	}
+}
+
 // Run executes the simulation to completion and returns the statistics.
 func (e *Engine) Run() (*Stats, error) {
+	ref := e.cfg.Reference
+	// st lives outside the loop: its address crosses the StepInto interface
+	// call, so an in-loop declaration would escape and heap-allocate once
+	// per engine event. Every step assigns the full struct, so reuse is
+	// safe.
+	var st Step
+	var err error
 	for {
-		t := e.pickRunnable()
+		var t *tstate
+		if ref {
+			t = e.pickRunnable()
+		} else if len(e.runq) > 0 {
+			// Peek, don't pop: the overwhelmingly common StepAdvance case
+			// re-enqueues the stepped thread immediately, so leaving it at
+			// the root and sifting once after its key grows replaces a full
+			// pop+push pair. No heap mutation can occur between the peek and
+			// the sift below (Step runs program code only).
+			t = e.runq[0]
+		}
 		if t == nil {
 			if e.allDone() {
 				break
@@ -238,7 +366,11 @@ func (e *Engine) Run() (*Stats, error) {
 		if e.stats.Steps > e.cfg.MaxSteps {
 			return nil, fmt.Errorf("%w (%d)", ErrStepLimit, e.cfg.MaxSteps)
 		}
-		st, err := t.prog.Step()
+		if t.into != nil {
+			err = t.into.StepInto(&st)
+		} else {
+			st, err = t.prog.Step()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: thread %d: %w", t.id, err)
 		}
@@ -247,6 +379,19 @@ func (e *Engine) Run() (*Stats, error) {
 		// thread's precise clock before the operation (Kendo reads its
 		// counter exactly at synchronization points).
 		t.clock += st.ClockDelta
+		if !ref {
+			if st.Kind == StepAdvance {
+				// Status is unchanged (settlement below only touches
+				// acquiring threads), so restoring the heap invariant for
+				// t's larger key is the whole re-enqueue.
+				e.heapDown(0)
+				e.settleAcquirers(t.phys)
+				continue
+			}
+			// Sync steps change t's status; take it out before the effect
+			// handlers (and settlement) push other threads around it.
+			e.heapPop()
+		}
 		switch st.Kind {
 		case StepAdvance:
 		case StepLock:
@@ -254,6 +399,9 @@ func (e *Engine) Run() (*Stats, error) {
 			t.wantLock = st.Obj
 			t.readyAt = t.phys
 			t.waitFrom = t.phys
+			if !ref {
+				e.acq = append(e.acq, t)
+			}
 		case StepUnlock:
 			e.unlock(t, st.Obj)
 		case StepBarrier:
@@ -273,6 +421,11 @@ func (e *Engine) Run() (*Stats, error) {
 		}
 		// Any step can change clocks or exclusion; settle pending acquires.
 		e.settleAcquirers(t.phys)
+		// The stepped thread re-enters the run queue unless the step (or
+		// settlement) excluded it; wakeups elsewhere push directly.
+		if !ref && t.status == tsRunnable {
+			e.heapPush(t)
+		}
 	}
 	return &e.stats, nil
 }
@@ -438,7 +591,96 @@ func (e *Engine) hasTurn(a *tstate) bool {
 // resolves immediately; under the deterministic policy a request resolves
 // when its thread gains the turn — the grant's physical time is the later of
 // the request time and the step that made the turn condition true (now).
+//
+// It runs after every engine step, so the fast path must be O(1) when no
+// thread is mid-acquire: the maintained acq list makes the common case a
+// single length check, and settlement passes sort a reused scratch snapshot
+// instead of re-collecting and sort.Slice-ing every thread. Settlement
+// decisions and their order are identical to the reference implementation:
+// both iterate acquirers by (clock, id), which is a total order.
 func (e *Engine) settleAcquirers(now int64) {
+	if e.cfg.Reference {
+		e.settleAcquirersRef(now)
+		return
+	}
+	if len(e.acq) == 0 {
+		return
+	}
+	for progress := true; progress; {
+		progress = false
+		// Snapshot the still-acquiring threads in (clock, id) order. Clocks
+		// move during settlement (grants tick), so each pass re-sorts — as
+		// the reference re-collects. Insertion sort: the set is tiny
+		// (bounded by the thread count) and usually nearly sorted.
+		s := e.acqScratch[:0]
+		for _, t := range e.acq {
+			if t.status != tsAcquiring {
+				continue
+			}
+			i := len(s)
+			s = append(s, t)
+			for i > 0 && acqLess(t, s[i-1]) {
+				s[i] = s[i-1]
+				i--
+			}
+			s[i] = t
+		}
+		e.acqScratch = s
+		for _, a := range s {
+			if a.status != tsAcquiring {
+				continue
+			}
+			l := &e.locks[a.wantLock]
+			switch e.cfg.Policy {
+			case PolicyFCFS:
+				if !l.held {
+					e.grant(a, maxI64(a.phys, a.readyAt))
+				} else {
+					a.status = tsBlocked
+					l.waiters = append(l.waiters, a.id)
+				}
+				progress = true
+			case PolicyDet:
+				if !e.hasTurn(a) {
+					continue
+				}
+				if !l.held {
+					// Kendo: tick after acquisition.
+					a.clock++
+					e.grant(a, maxI64(a.phys, now))
+				} else {
+					a.status = tsBlocked
+					l.waiters = append(l.waiters, a.id)
+				}
+				progress = true
+			}
+		}
+	}
+	// Compact: settlement only ever removes threads from the acquiring set.
+	keep := e.acq[:0]
+	for _, t := range e.acq {
+		if t.status == tsAcquiring {
+			keep = append(keep, t)
+		}
+	}
+	for i := len(keep); i < len(e.acq); i++ {
+		e.acq[i] = nil
+	}
+	e.acq = keep
+}
+
+// acqLess orders acquirers by (clock, id): the reference sort.Slice
+// comparator.
+func acqLess(a, b *tstate) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+// settleAcquirersRef is the pre-optimization settlement loop, kept verbatim
+// as the equivalence oracle (Config.Reference).
+func (e *Engine) settleAcquirersRef(now int64) {
 	for progress := true; progress; {
 		progress = false
 		for _, a := range e.acquirersInOrder() {
@@ -499,6 +741,7 @@ func (e *Engine) grant(t *tstate, at int64) {
 	}
 	t.phys = at + e.cfg.LockCost
 	t.status = tsRunnable
+	e.heapPush(t)
 	e.stats.Acquisitions++
 	if e.cfg.RecordTrace {
 		e.stats.Trace = append(e.stats.Trace, Acquisition{
@@ -547,6 +790,7 @@ func (e *Engine) unlock(t *tstate, obj int) {
 	}
 	w.phys = maxI64(w.phys, t.phys) + e.cfg.LockCost
 	w.status = tsRunnable
+	e.heapPush(w)
 	e.stats.Acquisitions++
 	if e.cfg.RecordTrace {
 		e.stats.Trace = append(e.stats.Trace, Acquisition{
@@ -588,11 +832,12 @@ func (e *Engine) barrierArrive(t *tstate, obj int) {
 			w.clock = maxClock + 1
 		}
 		w.status = tsRunnable
+		e.heapPush(w)
 	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.BarrierReleased(b.arrived)
 	}
-	b.arrived = nil
+	b.arrived = b.arrived[:0]
 	e.stats.BarrierEpisodes++
 }
 
@@ -602,12 +847,16 @@ func (e *Engine) barrierArrive(t *tstate, obj int) {
 // parent's clock + 1 and the parent ticks, mirroring package det.
 func (e *Engine) spawn(parent *tstate, st Step) {
 	id := len(e.threads)
-	child := &tstate{id: id, prog: st.NewProg(id), phys: parent.phys}
+	child := &tstate{id: id, prog: st.NewProg(id), phys: parent.phys, hpos: -1}
+	if !e.cfg.Reference {
+		child.into, _ = child.prog.(StepperInto)
+	}
 	if e.cfg.Policy == PolicyDet {
 		child.clock = parent.clock + 1
 		parent.clock++
 	}
 	e.threads = append(e.threads, child)
+	e.heapPush(child)
 	e.stats.PerThreadCycles = append(e.stats.PerThreadCycles, 0)
 	e.stats.FinalClocks = append(e.stats.FinalClocks, 0)
 	if st.SpawnDst != nil {
@@ -654,6 +903,7 @@ func (e *Engine) settleJoiners(done *tstate) {
 			t.clock = maxI64(t.clock, done.clock) + 1
 		}
 		t.status = tsRunnable
+		e.heapPush(t)
 		if e.cfg.Observer != nil {
 			e.cfg.Observer.Joined(t.id, done.id)
 		}
