@@ -1,7 +1,7 @@
 GO ?= go
 TIMEOUT ?= 10m
 
-.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke
 
 # check is what CI runs: build, vet, full test suite under the race detector.
 check: build vet race
@@ -45,3 +45,11 @@ bench-json:
 # (every hit is re-executed by the determinism self-check).
 serve-smoke:
 	$(GO) run ./cmd/detserve -smoke
+
+# chaos-smoke runs the short slice of the crash/restart property: seeded
+# SIGTERM-style kills mid-queue with injected worker panics, after which
+# every acknowledged job must complete byte-identical to an uninterrupted
+# run — zero lost, zero duplicated. The full 20-schedule property runs in
+# `make test`; -short keeps this target CI-cheap.
+chaos-smoke:
+	$(GO) test -run 'TestChaos' -short -count=1 -timeout $(TIMEOUT) ./internal/service/

@@ -5,20 +5,37 @@
 // Usage:
 //
 //	detserve [-addr :8080] [-workers N] [-queue N] [-self-check RATE] \
-//	         [-instr-cache N] [-result-cache N] [-pprof ADDR]
+//	         [-instr-cache N] [-result-cache N] [-pprof ADDR] \
+//	         [-journal PATH] [-deadline DUR] [-max-retries N]
 //	detserve -smoke
 //
 // Endpoints:
 //
 //	POST /v1/jobs        submit a job (body: service.Request JSON).
 //	                     ?wait=1 blocks until the job completes and returns
-//	                     the result (or the structured failure) directly.
+//	                     the result (or the structured failure) directly; a
+//	                     client that disconnects cancels its job.
 //	GET  /v1/jobs/{id}   job status/result (service.JobView JSON).
 //	GET  /v1/stats       service counters (service.StatsSnapshot JSON).
 //
 // Status codes: 400 for configuration misuse, 404 for unknown jobs, 422 for
 // jobs that failed with a structured report (deadlock, race, divergence),
-// 429 when the bounded queue is full, 503 while shutting down.
+// 429 with a Retry-After header when the bounded queue is full or load
+// shedding is active, 500 when a job exhausted its transient-failure retry
+// budget, 503 with Retry-After while the divergence circuit breaker is open
+// or the server is shutting down, 504 for jobs canceled by their deadline.
+//
+// Durability: -journal PATH arms the append-only JSONL job journal. Accepted
+// jobs are fsynced before their id is returned and survive crashes: on
+// restart, completed jobs are served from the journal (and re-verified by
+// background re-execution), incomplete ones are re-executed — weak
+// determinism guarantees the recovered results are identical. A journal that
+// cannot be opened aborts startup; one that breaks mid-flight degrades the
+// service (journaling and result cache off) but keeps it serving.
+//
+// -deadline bounds every job's execution time unless the request carries its
+// own deadline_ms; -max-retries bounds per-job retries of transient faults
+// (0 disables retries).
 //
 // -pprof ADDR serves net/http/pprof on a second, separate listener (e.g.
 // -pprof localhost:6060), keeping the profiling surface off the job API's
@@ -57,6 +74,9 @@ func main() {
 		resultCache = flag.Int("result-cache", 0, "result cache entries (0 = default)")
 		selfCheck   = flag.Float64("self-check", 0, "fraction of cache hits to re-execute and verify (0..1)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		journal     = flag.String("journal", "", "durable job journal path (empty = no durability)")
+		deadlineF   = flag.Duration("deadline", 0, "default per-job execution deadline (0 = unbounded)")
+		maxRetries  = flag.Int("max-retries", 2, "transient-failure retries per job (0 disables)")
 		smoke       = flag.Bool("smoke", false, "run the cache-coherence smoke test and exit")
 	)
 	flag.Parse()
@@ -73,6 +93,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "detserve: -self-check must be in [0,1]")
 		os.Exit(2)
 	}
+	if *maxRetries < 0 || *deadlineF < 0 {
+		fmt.Fprintln(os.Stderr, "detserve: -max-retries and -deadline must be >= 0")
+		os.Exit(2)
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
@@ -80,6 +104,12 @@ func main() {
 		InstrCacheSize:  *instrCache,
 		ResultCacheSize: *resultCache,
 		SelfCheckRate:   *selfCheck,
+		JournalPath:     *journal,
+		DefaultDeadline: *deadlineF,
+		MaxRetries:      *maxRetries,
+	}
+	if *maxRetries == 0 {
+		cfg.MaxRetries = -1 // Config 0 means "default"; the flag's 0 means off
 	}
 
 	if *smoke {
@@ -100,7 +130,12 @@ func main() {
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains: the listener
 // closes first, then the service finishes every accepted job.
 func serve(addr, pprofAddr string, cfg service.Config) error {
-	svc := service.New(cfg)
+	// Open, not New: a front end asked for durability must refuse to start
+	// without it rather than silently running degraded.
+	svc, err := service.Open(cfg)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
 	srv := &http.Server{Addr: addr, Handler: newHandler(svc)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -125,7 +160,11 @@ func serve(addr, pprofAddr string, cfg service.Config) error {
 			errCh <- err
 		}
 	}()
-	fmt.Printf("detserve: listening on %s (workers=%d queue=%d)\n", addr, svc.Snapshot().Workers, svc.Snapshot().QueueCap)
+	snap := svc.Snapshot()
+	fmt.Printf("detserve: listening on %s (workers=%d queue=%d)\n", addr, snap.Workers, snap.QueueCap)
+	if snap.JournalEnabled {
+		fmt.Printf("detserve: journal %s (%d jobs recovered)\n", cfg.JournalPath, snap.RecoveredJobs)
+	}
 
 	select {
 	case err := <-errCh:
@@ -203,14 +242,20 @@ func newHandler(svc *service.Service) http.Handler {
 // statusFor maps the service's typed errors onto HTTP status codes.
 func statusFor(err error) int {
 	switch service.Classify(err) {
-	case "queue_full":
+	case "queue_full", "overloaded":
 		return http.StatusTooManyRequests
-	case "closed":
+	case "closed", "circuit_open":
 		return http.StatusServiceUnavailable
 	case "unknown_job":
 		return http.StatusNotFound
 	case "misuse":
 		return http.StatusBadRequest
+	case "timeout":
+		return http.StatusGatewayTimeout
+	case "retries_exhausted":
+		// A transient serving-environment fault persisted across every
+		// attempt: the server's fault, not the request's.
+		return http.StatusInternalServerError
 	case "deadlock", "race", "divergence":
 		// The request was well-formed; the program failed with a structured
 		// report.
@@ -229,6 +274,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
+	// Backpressure rejections (429/503) carry the service's retry hint so
+	// well-behaved clients back off instead of hammering a shedding server.
+	if ra := service.RetryAfter(err); ra > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", ra))
+	}
 	writeJSON(w, code, map[string]string{
 		"error": err.Error(),
 		"kind":  service.Classify(err),

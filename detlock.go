@@ -129,6 +129,14 @@ type DivergenceError = diag.DivergenceError
 // DivergenceEvent is one synchronization event in a divergence report.
 type DivergenceEvent = diag.DivergenceEvent
 
+// TimeoutError reports a job canceled before completion — by its deadline,
+// by a disconnected synchronous client, or by service shutdown.
+type TimeoutError = diag.TimeoutError
+
+// RetryError reports a job whose transient failures persisted across every
+// retry attempt; Last is the final attempt's cause.
+type RetryError = diag.RetryError
+
 // RaceConfig enables the simulator's deterministic race detector.
 type RaceConfig = interp.RaceConfig
 
@@ -167,6 +175,12 @@ var (
 	ErrDetectorMidRun = diag.ErrDetectorMidRun
 	ErrRaceBackend    = diag.ErrRaceBackend
 	ErrBadConfig      = diag.ErrBadConfig
+	// ErrDeadline: a job was canceled before completion (deadline, client
+	// disconnect, or shutdown); the typed report is *TimeoutError.
+	ErrDeadline = diag.ErrDeadline
+	// ErrRetriesExhausted: a transient failure persisted across the job's
+	// whole retry budget; the typed report is *RetryError.
+	ErrRetriesExhausted = diag.ErrRetriesExhausted
 )
 
 // FormatFailure renders a runtime failure error (deadlock, stall, panic,

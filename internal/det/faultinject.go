@@ -25,7 +25,7 @@ type FaultInjector struct {
 	mu sync.Mutex
 	// rng is per-thread deterministic state: each thread's perturbation
 	// stream depends only on (seed, thread id), never on interleaving.
-	rng map[int]*injectRand
+	rng map[int]*Rand
 }
 
 // FaultInjectorConfig selects the perturbations.
@@ -45,9 +45,23 @@ type FaultInjectorConfig struct {
 	PanicAt map[int]int64
 }
 
-type injectRand struct{ state uint64 }
+// Rand is the fault-injection harnesses' deterministic xorshift64 stream:
+// dependency-free, reproducible from its seed alone. It is exported so
+// higher-layer chaos harnesses (the service layer's crash/restart and
+// worker-panic injection) draw their perturbation schedules from the same
+// generator family the runtime-level injector uses — one seed format, one
+// stream discipline, directly comparable chaos schedules across layers.
+type Rand struct{ state uint64 }
 
-func (r *injectRand) next() uint64 {
+// NewRand derives a stream from (seed, stream id); the id separates streams
+// of the same seed the way the runtime injector separates per-thread streams.
+func NewRand(seed int64, id int) *Rand {
+	// Mix the seed and id so streams differ per id; keep non-zero.
+	return &Rand{state: uint64(seed)*2654435761 + uint64(id)*0x9e3779b9 + 1}
+}
+
+// Next returns the next value of the stream.
+func (r *Rand) Next() uint64 {
 	// xorshift64: deterministic, dependency-free.
 	v := r.state
 	v ^= v << 13
@@ -57,9 +71,19 @@ func (r *injectRand) next() uint64 {
 	return v
 }
 
+// Float returns the next value scaled into [0, 1).
+func (r *Rand) Float() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// IntN returns a value in [0, n); n must be positive.
+func (r *Rand) IntN(n int) int {
+	return int(r.Next() % uint64(n))
+}
+
 // NewFaultInjector builds an injector from cfg.
 func NewFaultInjector(cfg FaultInjectorConfig) *FaultInjector {
-	return &FaultInjector{cfg: cfg, rng: make(map[int]*injectRand)}
+	return &FaultInjector{cfg: cfg, rng: make(map[int]*Rand)}
 }
 
 // SetFaultInjector installs (or, with nil, removes) the injector. Must be
@@ -88,17 +112,16 @@ func (fi *FaultInjector) boundary(t *Thread, op string) {
 	fi.mu.Lock()
 	r := fi.rng[t.id]
 	if r == nil {
-		// Mix the seed and id so streams differ per thread; keep non-zero.
-		r = &injectRand{state: uint64(fi.cfg.Seed)*2654435761 + uint64(t.id)*0x9e3779b9 + 1}
+		r = NewRand(fi.cfg.Seed, t.id)
 		fi.rng[t.id] = r
 	}
 	storm := 0
 	var sleep time.Duration
 	if fi.cfg.GoschedStorm > 0 {
-		storm = int(r.next() % uint64(fi.cfg.GoschedStorm+1))
+		storm = int(r.Next() % uint64(fi.cfg.GoschedStorm+1))
 	}
 	if fi.cfg.SleepJitter > 0 {
-		sleep = time.Duration(r.next() % uint64(fi.cfg.SleepJitter))
+		sleep = time.Duration(r.Next() % uint64(fi.cfg.SleepJitter))
 	}
 	fi.mu.Unlock()
 	for i := 0; i < storm; i++ {

@@ -64,6 +64,15 @@ var (
 	// nil module, unknown preset, non-positive run count, …). Used by the
 	// facade and the service layer's job validation.
 	ErrBadConfig = errors.New("invalid configuration")
+	// ErrDeadline: a job exceeded its deadline (or its client abandoned it)
+	// and was cooperatively canceled. Unlike ErrStalled the program was
+	// making progress — it was just not worth waiting for. Concrete reports
+	// are *TimeoutError.
+	ErrDeadline = errors.New("deadline exceeded: job canceled before completion")
+	// ErrRetriesExhausted: a transiently-failing job (contained panic,
+	// injected fault) kept failing across its whole retry budget. Concrete
+	// reports are *RetryError; the last attempt's error is preserved there.
+	ErrRetriesExhausted = errors.New("retries exhausted: transient failure persisted across every attempt")
 )
 
 // ThreadSnapshot is one thread's state at the moment a failure report was
@@ -316,3 +325,62 @@ func (e *DivergenceError) Error() string {
 
 // Unwrap classifies the error as ErrDivergence.
 func (e *DivergenceError) Unwrap() error { return ErrDivergence }
+
+// TimeoutError reports a job that was cooperatively canceled: its deadline
+// passed, or its submitter went away. Deadlines are wall-clock policy, not
+// program logic, so — like WatchdogError — the moment of cancellation is
+// nondeterministic, but a canceled run publishes no result, so determinism
+// of surviving runs is unaffected.
+type TimeoutError struct {
+	// Op names the canceled operation (e.g. "service.job").
+	Op string
+	// Deadline is the budget that was exceeded (0 when the cancellation came
+	// from the client rather than a deadline).
+	Deadline time.Duration
+	// Cause is the underlying context error (context.DeadlineExceeded or
+	// context.Canceled).
+	Cause error
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Deadline > 0 {
+		return fmt.Sprintf("%s: %v (deadline %v)", e.Op, ErrDeadline, e.Deadline)
+	}
+	return fmt.Sprintf("%s: %v (canceled by client)", e.Op, ErrDeadline)
+}
+
+// Unwrap classifies the error as ErrDeadline and exposes the context cause,
+// so both errors.Is(err, ErrDeadline) and errors.Is(err,
+// context.DeadlineExceeded) hold.
+func (e *TimeoutError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrDeadline, e.Cause}
+	}
+	return []error{ErrDeadline}
+}
+
+// RetryError reports a job that failed on every attempt of its retry budget.
+// Only transient failures (contained panics, injected faults) are retried;
+// deterministic failures (deadlock, race, misuse) fail on the first attempt
+// without one of these.
+type RetryError struct {
+	// Op names the retried operation (e.g. "service.job").
+	Op string
+	// Attempts is the total number of executions (first try + retries).
+	Attempts int
+	// Last is the final attempt's error.
+	Last error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("%s: %v (%d attempts): %v", e.Op, ErrRetriesExhausted, e.Attempts, e.Last)
+}
+
+// Unwrap classifies the error as ErrRetriesExhausted and exposes the last
+// attempt's failure for errors.Is/As.
+func (e *RetryError) Unwrap() []error {
+	if e.Last != nil {
+		return []error{ErrRetriesExhausted, e.Last}
+	}
+	return []error{ErrRetriesExhausted}
+}

@@ -100,6 +100,12 @@ type Runner struct {
 	// (interp.Config.JitterSeed): the seed-sweep property tests use it to
 	// vary executions without touching logical behavior.
 	JitterSeed int64
+	// Cancel, when non-nil, is polled by the simulation engine between
+	// scheduling steps (sim.Config.Cancel): a non-nil return cooperatively
+	// aborts the run with sim.ErrCanceled. Wiring ctx.Err here bounds a
+	// sweep's wall-clock time without perturbing uncancelled runs — the hook
+	// never mutates engine state.
+	Cancel func() error
 
 	// dcache shares decoded instruction streams across the sweep's machines
 	// and cache memoizes benchmark construction and instrumentation
@@ -175,6 +181,7 @@ func (r *Runner) Run(b *splash.Benchmark, opt core.Options, mode Mode, kendoChun
 		RecordTrace: r.RecordTraces,
 		Observer:    mach.Observer(),
 		Reference:   r.Reference,
+		Cancel:      r.Cancel,
 	}, interp.Programs(threads))
 	stats, err := eng.Run()
 	if err != nil {

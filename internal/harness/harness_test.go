@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/splash"
 )
 
@@ -68,6 +70,37 @@ func TestRunModes(t *testing.T) {
 	}
 	if ke.ClockUpdates == 0 && ke.Interrupts == 0 {
 		t.Fatalf("kendo run should take interrupts")
+	}
+}
+
+// TestRunnerCancel: a Cancel hook aborts a run mid-simulation with
+// sim.ErrCanceled, and — because the hook never mutates engine state — a
+// hook that never fires leaves the result byte-identical to no hook at all.
+func TestRunnerCancel(t *testing.T) {
+	r := fastRunner()
+	b, err := splash.New("water-nsq", r.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := r.Run(b, PresetByKey("all"), ModeDet, 0)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	stop := errors.New("sweep budget exhausted")
+	r.Cancel = func() error { return stop }
+	if _, err := r.Run(b, PresetByKey("all"), ModeDet, 0); !errors.Is(err, sim.ErrCanceled) || !errors.Is(err, stop) {
+		t.Fatalf("canceled run err = %v, want sim.ErrCanceled wrapping the hook's error", err)
+	}
+
+	r.Cancel = func() error { return nil }
+	again, err := r.Run(b, PresetByKey("all"), ModeDet, 0)
+	if err != nil {
+		t.Fatalf("armed-but-silent hook: %v", err)
+	}
+	if ref.Makespan != again.Makespan || ref.WaitCycles != again.WaitCycles ||
+		ref.Acquisitions != again.Acquisitions || ref.ClockUpdates != again.ClockUpdates {
+		t.Fatalf("cancel hook perturbed an uncancelled run: %+v vs %+v", ref, again)
 	}
 }
 

@@ -1,6 +1,10 @@
 package service
 
-import "testing"
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
 
 func TestLRUEviction(t *testing.T) {
 	c := newLRU(2)
@@ -30,6 +34,62 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("len after refresh = %d, want 2", c.len())
+	}
+}
+
+// TestLRUConcurrentEviction hammers a small LRU from many goroutines whose
+// key ranges overlap, so adds, hits, refreshes, and evictions race — run
+// under -race in CI. The invariants: the cache never exceeds capacity, every
+// value read matches its key, and the map and recency list stay consistent.
+func TestLRUConcurrentEviction(t *testing.T) {
+	const (
+		capacity   = 8
+		goroutines = 16
+		ops        = 2000
+		keyspace   = 32 // 4× capacity: constant eviction pressure
+	)
+	c := newLRU(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := (g*7 + i) % keyspace // overlapping, shifted walks
+				key := fmt.Sprintf("k%d", k)
+				if v, ok := c.get(key); ok {
+					if v.(int) != k {
+						t.Errorf("key %s returned value %v", key, v)
+						return
+					}
+				} else {
+					c.add(key, k)
+				}
+				if n := c.len(); n > capacity {
+					t.Errorf("cache grew to %d > capacity %d", n, capacity)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Post-race consistency: map and list agree, every survivor is readable.
+	c.mu.Lock()
+	if len(c.items) != c.ll.Len() {
+		t.Fatalf("map has %d entries, list %d", len(c.items), c.ll.Len())
+	}
+	keys := make([]string, 0, len(c.items))
+	for k := range c.items {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	if len(keys) != capacity {
+		t.Fatalf("cache holds %d entries after sustained pressure, want %d", len(keys), capacity)
+	}
+	for _, k := range keys {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("surviving key %s unreadable", k)
+		}
 	}
 }
 

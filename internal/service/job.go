@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/diag"
@@ -38,6 +39,12 @@ type Request struct {
 	// deterministic pipeline (Baseline=false); the combination is a typed
 	// *diag.MisuseError (ErrRaceBackend), mirroring the facade contract.
 	Race bool `json:"race,omitempty"`
+	// DeadlineMS is the job's execution budget in milliseconds (0 uses
+	// Config.DefaultDeadline; negative is a typed configuration error). A
+	// job exceeding it is cooperatively canceled inside the simulator and
+	// fails with a typed *diag.TimeoutError; concurrently running jobs are
+	// unaffected — their results stay bitwise identical.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Artifacts selects optional result payloads.
 	Artifacts Artifacts `json:"artifacts"`
 }
@@ -128,10 +135,32 @@ type job struct {
 
 	done chan struct{} // closed when the job reaches done/failed
 
+	// clientCtx, when non-nil, ties the job's execution to its submitter: a
+	// synchronous (?wait=1) client that disconnects cancels the job instead
+	// of pinning a worker and a result forever. Asynchronous submissions
+	// leave it nil; they are canceled only by deadline or shutdown.
+	clientCtx context.Context
+	// bytes is the request's admission-control weight (source size),
+	// released when the job finishes.
+	bytes int64
+	// verify marks an internal recovery cross-check job (not client
+	// visible): re-execute req and compare against the journaled hash.
+	verify *verifySpec
+
 	// Guarded by the owning service's mu.
 	status Status
 	result *Result
 	err    error
+	// errKind overrides Classify for journal-recovered failures, whose
+	// typed report structure does not survive serialization.
+	errKind string
+}
+
+// verifySpec is the recovery determinism cross-check: target is the
+// recovered job id, wantHash its journaled schedule hash.
+type verifySpec struct {
+	target   string
+	wantHash string
 }
 
 // presets maps the accepted preset names; values are resolved through
@@ -160,6 +189,9 @@ func normalize(req *Request) error {
 	}
 	if req.Threads == 0 {
 		req.Threads = 4
+	}
+	if req.DeadlineMS < 0 {
+		return misuse(diag.ErrBadConfig, fmt.Sprintf("negative deadline %dms", req.DeadlineMS))
 	}
 	if req.Entry == "" {
 		req.Entry = "main"

@@ -1,0 +1,399 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The job journal is the service's crash-safety substrate: an append-only
+// JSONL write-ahead log of job lifecycle records. Determinism is what makes
+// this journal unusually cheap (the Determinator argument for deterministic
+// execution as a fault-tolerance substrate): a recovered job needs no state
+// transfer, because re-executing its journaled request provably reproduces
+// the lost result. The journal therefore stores only requests and result
+// summaries — never simulator state — and recovery is re-execution.
+//
+// Durability contract, record by record:
+//
+//   - "submitted" records are group-committed: the record is written and
+//     fsynced before Submit returns the job id to the client. An accepted
+//     job survives any crash.
+//   - "completed"/"failed" records are batch-fsynced (every FsyncEvery
+//     records, plus on Close and compaction). Losing a tail of completion
+//     records in a crash is harmless by determinism: recovery re-executes
+//     those jobs and provably reproduces the same results.
+//
+// Recovery cross-checks the determinism claim rather than assuming it:
+// every recovered successful result is re-executed in the background and
+// its fresh schedule hash compared to the journaled one; a mismatch is a
+// typed *diag.DivergenceError (and trips the admission circuit breaker),
+// never a silently wrong answer served from a stale log.
+//
+// The raw log grows with every record, so the journal compacts: when the
+// record count exceeds CompactEvery and is more than twice the live-job
+// count, the log is rewritten (temp file + fsync + atomic rename) to one
+// submitted record — plus one finish record when finished — per known job.
+
+// Journal record types.
+const (
+	recSubmitted = "submitted"
+	recCompleted = "completed"
+	recFailed    = "failed"
+)
+
+// journalRecord is one JSONL line of the write-ahead log.
+type journalRecord struct {
+	Type string `json:"type"`
+	ID   string `json:"id"`
+	// Req is the full job request (submitted records): everything needed to
+	// re-execute the job after a crash.
+	Req *Request `json:"req,omitempty"`
+	// Result is the result summary (completed records). Artifact payloads
+	// (schedules, overhead rows) are recomputed on demand, not journaled.
+	Result *Result `json:"result,omitempty"`
+	// Error/Kind describe a failed job's structured report rendering.
+	Error string `json:"error,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// journalJob is the replayed state of one journaled job: its request plus
+// its finish record, if any was durable before the crash.
+type journalJob struct {
+	id      string
+	req     Request
+	done    bool
+	result  *Result
+	errMsg  string
+	errKind string
+}
+
+// journal is the append-only JSONL write-ahead log. All methods are
+// crash-aware: pending holds bytes not yet handed to the OS, so a simulated
+// SIGTERM (kill) loses exactly the batch-buffered completion records and
+// nothing else — the same failure surface a real process crash has with
+// fsync batching.
+type journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+
+	// pending buffers batch-fsynced records (completions) not yet written.
+	pending     bytes.Buffer
+	pendingRecs int
+	fsyncEvery  int
+
+	// rawRecords counts records in the on-disk log (replayed + appended);
+	// compaction triggers on rawRecords vs the live set.
+	rawRecords   int
+	compactEvery int
+
+	// live is the replayed + current job state, order its first-seen id
+	// order (compaction preserves it).
+	live  map[string]*journalJob
+	order []string
+
+	// chaos injects write errors (nil-safe); broken marks the journal
+	// permanently degraded after an unrecovered write error.
+	chaos  *chaos
+	broken bool
+}
+
+// openJournal opens (creating if needed) the journal at path and replays it.
+// A torn final line — the signature of a crash mid-write — is truncated
+// away, not treated as corruption. Returns the journal and the replayed jobs
+// in first-submission order.
+func openJournal(path string, fsyncEvery, compactEvery int, chaos *chaos) (*journal, []*journalJob, error) {
+	j := &journal{
+		path:         path,
+		fsyncEvery:   fsyncEvery,
+		compactEvery: compactEvery,
+		live:         make(map[string]*journalJob),
+		chaos:        chaos,
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	validLen := 0
+	for len(raw) > 0 {
+		nl := bytes.IndexByte(raw, '\n')
+		if nl < 0 {
+			break // torn final line: a crash interrupted the write
+		}
+		line := raw[:nl]
+		raw = raw[nl+1:]
+		var rec journalRecord
+		if len(bytes.TrimSpace(line)) == 0 {
+			validLen += nl + 1
+			continue
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A malformed interior line means the log was externally damaged;
+			// stop replaying here and truncate to the last good prefix so
+			// future appends stay parseable.
+			break
+		}
+		j.replay(&rec)
+		j.rawRecords++
+		validLen += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(validLen)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: seek %s: %w", path, err)
+	}
+	j.f = f
+	jobs := make([]*journalJob, 0, len(j.order))
+	for _, id := range j.order {
+		jobs = append(jobs, j.live[id])
+	}
+	return j, jobs, nil
+}
+
+// replay folds one record into the live state. Finish records are last-wins:
+// a job re-executed after a crash may legitimately append a second finish
+// record, and determinism makes them interchangeable.
+func (j *journal) replay(rec *journalRecord) {
+	switch rec.Type {
+	case recSubmitted:
+		if _, ok := j.live[rec.ID]; ok || rec.Req == nil {
+			return
+		}
+		j.live[rec.ID] = &journalJob{id: rec.ID, req: *rec.Req}
+		j.order = append(j.order, rec.ID)
+	case recCompleted:
+		if jj, ok := j.live[rec.ID]; ok && rec.Result != nil {
+			jj.done, jj.result, jj.errMsg, jj.errKind = true, rec.Result, "", ""
+		}
+	case recFailed:
+		if jj, ok := j.live[rec.ID]; ok {
+			jj.done, jj.result, jj.errMsg, jj.errKind = true, nil, rec.Error, rec.Kind
+		}
+	}
+}
+
+// appendSubmitted durably records an accepted job: the record — and any
+// buffered completion records ahead of it — is written and fsynced before
+// returning, so Submit never acknowledges a job a crash could lose.
+func (j *journal) appendSubmitted(id string, req *Request) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken {
+		return errJournalBroken
+	}
+	if err := j.appendLocked(&journalRecord{Type: recSubmitted, ID: id, Req: req}); err != nil {
+		return err
+	}
+	j.live[id] = &journalJob{id: id, req: *req}
+	j.order = append(j.order, id)
+	return j.flushLocked(true)
+}
+
+// appendFinished records a job's outcome. Finish records are batch-fsynced:
+// the write lands in the pending buffer and is flushed every fsyncEvery
+// records. A crash can lose at most the buffered batch, which recovery
+// repairs by re-execution.
+func (j *journal) appendFinished(id string, res *Result, errMsg, errKind string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken {
+		return errJournalBroken
+	}
+	rec := &journalRecord{Type: recFailed, ID: id, Error: errMsg, Kind: errKind}
+	if res != nil {
+		// Strip heavyweight artifacts: journaled results are summaries;
+		// schedules and overhead rows are recomputed on demand.
+		trimmed := *res
+		trimmed.Schedule, trimmed.Overhead = nil, nil
+		rec = &journalRecord{Type: recCompleted, ID: id, Result: &trimmed}
+	}
+	if err := j.appendLocked(rec); err != nil {
+		return err
+	}
+	if jj, ok := j.live[id]; ok {
+		jj.done, jj.result, jj.errMsg, jj.errKind = true, rec.Result, errMsg, errKind
+	}
+	if j.pendingRecs >= j.fsyncEvery {
+		if err := j.flushLocked(true); err != nil {
+			return err
+		}
+	}
+	return j.maybeCompactLocked()
+}
+
+// appendLocked marshals rec into the pending buffer.
+func (j *journal) appendLocked(rec *journalRecord) error {
+	if err := j.chaos.journalErr(); err != nil {
+		j.broken = true
+		return err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		j.broken = true
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	j.pending.Write(b)
+	j.pending.WriteByte('\n')
+	j.pendingRecs++
+	return nil
+}
+
+// flushLocked hands the pending buffer to the OS and, when sync is set,
+// fsyncs — the group-commit point.
+func (j *journal) flushLocked(sync bool) error {
+	if j.pendingRecs > 0 {
+		if _, err := j.f.Write(j.pending.Bytes()); err != nil {
+			j.broken = true
+			return fmt.Errorf("journal: write %s: %w", j.path, err)
+		}
+		j.rawRecords += j.pendingRecs
+		j.pending.Reset()
+		j.pendingRecs = 0
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			j.broken = true
+			return fmt.Errorf("journal: fsync %s: %w", j.path, err)
+		}
+	}
+	return nil
+}
+
+// maybeCompactLocked rewrites the log when it holds more than compactEvery
+// records and at least twice the live-job count: one submitted record per
+// job plus its finish record. The rewrite is crash-safe — temp file, fsync,
+// atomic rename — so a crash mid-compaction leaves the old log intact.
+func (j *journal) maybeCompactLocked() error {
+	if j.rawRecords+j.pendingRecs <= j.compactEvery || j.rawRecords+j.pendingRecs <= 2*len(j.live) {
+		return nil
+	}
+	if err := j.flushLocked(true); err != nil {
+		return err
+	}
+	tmpPath := j.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.broken = true
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	var buf bytes.Buffer
+	records := 0
+	write := func(rec *journalRecord) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+		records++
+		return nil
+	}
+	for _, id := range j.order {
+		jj := j.live[id]
+		if err := write(&journalRecord{Type: recSubmitted, ID: jj.id, Req: &jj.req}); err == nil && jj.done {
+			if jj.result != nil {
+				err = write(&journalRecord{Type: recCompleted, ID: jj.id, Result: jj.result})
+			} else {
+				err = write(&journalRecord{Type: recFailed, ID: jj.id, Error: jj.errMsg, Kind: jj.errKind})
+			}
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			j.broken = true
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if _, err := tmp.Write(buf.Bytes()); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		j.broken = true
+		return fmt.Errorf("journal: compact write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		j.broken = true
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmpPath, j.path); err != nil {
+		j.broken = true
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_WRONLY, 0o644)
+	if err != nil {
+		j.broken = true
+		return fmt.Errorf("journal: reopen after compact: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		j.broken = true
+		return fmt.Errorf("journal: reopen seek: %w", err)
+	}
+	old.Close()
+	j.f = f
+	j.rawRecords = records
+	return nil
+}
+
+// close flushes and fsyncs everything — the clean-shutdown path.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	var err error
+	if !j.broken {
+		err = j.flushLocked(true)
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// kill abandons the journal the way a process crash would: the pending
+// buffer — the batch-fsync window — is dropped on the floor, and the file
+// is closed without a flush. The chaos harness uses this to simulate
+// SIGTERM-style restarts mid-queue.
+func (j *journal) kill() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	j.pending.Reset()
+	j.pendingRecs = 0
+	j.f.Close()
+	j.f = nil
+	j.broken = true
+}
+
+// snapshotLive returns the journal's live view (for tests and stats): total
+// jobs known and how many have durable finish records.
+func (j *journal) snapshotLive() (jobs, finished int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, jj := range j.live {
+		if jj.done {
+			finished++
+		}
+	}
+	return len(j.live), finished
+}
+
+var errJournalBroken = fmt.Errorf("journal unwritable")

@@ -1,0 +1,371 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/splash"
+)
+
+// coreOf projects a result onto its deterministic core — the fields the
+// weak-determinism contract pins. Serving metadata (Cached, Stage latencies)
+// legitimately varies across runs and restarts.
+func coreOf(r *Result) string {
+	return fmt.Sprintf("%s/%d/%d/%d/%d/%d",
+		r.ScheduleHash, r.ScheduleLen, r.Cycles, r.WaitCycles, r.Acquisitions, r.ClockUpdates)
+}
+
+// waitStatus polls Lookup until the job reaches want (background verify jobs
+// flip recovered jobs asynchronously).
+func waitStatus(t *testing.T, s *Service, id string, want Status) *JobView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := s.Lookup(id)
+		if err != nil {
+			t.Fatalf("Lookup %s: %v", id, err)
+		}
+		if v.Status == want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %q, want %q", id, v.Status, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJournalRecoveryRoundTrip: jobs completed before a clean shutdown are
+// served from the journal after restart with identical deterministic cores,
+// and the background cross-check re-executes each one without divergence.
+func TestJournalRecoveryRoundTrip(t *testing.T) {
+	b, err := splash.New("ocean", 4)
+	if err != nil {
+		t.Fatalf("splash.New: %v", err)
+	}
+	src := b.Module.String()
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+
+	ref := map[string]string{}
+	svc, err := Open(Config{Workers: 2, JournalPath: path})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		res, err := svc.Do(context.Background(), Request{Source: src, PerturbSeed: int64(i)})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		ref[res.JobID] = coreOf(res)
+	}
+	// One deterministic failure: its rendering and kind must also survive.
+	_, err = svc.Do(context.Background(), Request{Source: deadlockProgram, Threads: 2})
+	if err == nil {
+		t.Fatal("deadlock job succeeded")
+	}
+	failMsg := err.Error()
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	svc2, err := Open(Config{Workers: 2, JournalPath: path})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc2.Close(context.Background())
+	for id, want := range ref {
+		v := waitStatus(t, svc2, id, StatusDone)
+		if v.Result == nil || coreOf(v.Result) != want {
+			t.Fatalf("recovered %s: core %v, want %s", id, v.Result, want)
+		}
+	}
+	vf, err := svc2.Lookup("job-5")
+	if err != nil {
+		t.Fatalf("Lookup failed job: %v", err)
+	}
+	if vf.Status != StatusFailed || vf.Error != failMsg || vf.ErrorKind != "deadlock" {
+		t.Fatalf("recovered failure = %+v, want failed/%q/deadlock", vf, failMsg)
+	}
+
+	// Cross-checks ran and agreed; new ids continue past the journal.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc2.Snapshot().RecoveryChecks < 4 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	snap := svc2.Snapshot()
+	if snap.RecoveryChecks < 4 {
+		t.Fatalf("recovery checks = %d, want ≥4", snap.RecoveryChecks)
+	}
+	if snap.Divergences != 0 {
+		t.Fatalf("recovery cross-check reported %d divergences", snap.Divergences)
+	}
+	if snap.RecoveredJobs != 5 {
+		t.Fatalf("recovered jobs = %d, want 5", snap.RecoveredJobs)
+	}
+	id, err := svc2.Submit(Request{Source: src, PerturbSeed: 99})
+	if err != nil {
+		t.Fatalf("post-recovery submit: %v", err)
+	}
+	if id != "job-6" {
+		t.Fatalf("post-recovery id = %s, want job-6 (sequence continues past journal)", id)
+	}
+}
+
+// TestJournalReplaysIncomplete: a crash that loses completion records leaves
+// jobs incomplete in the log; restart re-executes them and determinism makes
+// the re-run identical to an uninterrupted one.
+func TestJournalReplaysIncomplete(t *testing.T) {
+	b, err := splash.New("radiosity", 4)
+	if err != nil {
+		t.Fatalf("splash.New: %v", err)
+	}
+	src := b.Module.String()
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+
+	// Reference from an uninterrupted, journal-free service.
+	refSvc := New(Config{Workers: 1})
+	refRes := mustDo(t, refSvc, Request{Source: src})
+	refSvc.Close(context.Background())
+
+	// A huge fsync batch keeps every completion record in the pending buffer,
+	// which Kill drops — so the journal retains only submitted records.
+	svc, err := Open(Config{Workers: 1, JournalPath: path, JournalFsyncEvery: 1 << 20})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := svc.Submit(Request{Source: src, PerturbSeed: int64(i)})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := svc.Wait(context.Background(), ids[0]); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	svc.Kill()
+
+	svc2, err := Open(Config{Workers: 2, JournalPath: path})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc2.Close(context.Background())
+	for i, id := range ids {
+		v := waitStatus(t, svc2, id, StatusDone)
+		if i == 0 && coreOf(v.Result) != coreOf(refRes) {
+			t.Fatalf("re-executed %s: core %s, want %s", id, coreOf(v.Result), coreOf(refRes))
+		}
+	}
+	if got := svc2.Snapshot().RecoveredJobs; got != 3 {
+		t.Fatalf("recovered jobs = %d, want 3", got)
+	}
+}
+
+// TestJournalTornTail: a partial final line (crash mid-write) is truncated
+// away on open, and every record before it replays.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	req := Request{Source: "m", Threads: 4, Entry: "main", Preset: "all"}
+	rec := func(r journalRecord) string {
+		b, _ := json.Marshal(r)
+		return string(b) + "\n"
+	}
+	content := rec(journalRecord{Type: recSubmitted, ID: "job-1", Req: &req}) +
+		rec(journalRecord{Type: recCompleted, ID: "job-1", Result: &Result{ScheduleHash: "aa"}}) +
+		rec(journalRecord{Type: recSubmitted, ID: "job-2", Req: &req}) +
+		`{"type":"completed","id":"job-2","resu` // torn mid-write
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jn, jobs, err := openJournal(path, 16, 4096, nil)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	defer jn.close()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if !jobs[0].done || jobs[0].result == nil || jobs[0].result.ScheduleHash != "aa" {
+		t.Fatalf("job-1 replay = %+v, want completed", jobs[0])
+	}
+	if jobs[1].done {
+		t.Fatal("job-2 replayed as done from a torn record")
+	}
+	// The torn bytes are gone: appending and re-reading stays parseable.
+	if err := jn.appendFinished("job-2", &Result{ScheduleHash: "bb"}, "", ""); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	if err := jn.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, jobs2, err := openJournal(path, 16, 4096, nil)
+	if err != nil {
+		t.Fatalf("re-open: %v", err)
+	}
+	if len(jobs2) != 2 || !jobs2[1].done || jobs2[1].result.ScheduleHash != "bb" {
+		t.Fatalf("post-truncation replay = %+v", jobs2)
+	}
+}
+
+// TestJournalCompaction: duplicate finish records (the signature of repeated
+// crash/recover cycles) push the raw log past the compaction trigger; the
+// rewrite keeps one submitted + one finish record per job, preserves replay,
+// and shrinks the file.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	jn, _, err := openJournal(path, 1, 8, nil)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	req := Request{Source: "m"}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("job-%d", i+1)
+		if err := jn.appendSubmitted(id, &req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-finish each job several times, as successive recoveries would.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 3; i++ {
+			id := fmt.Sprintf("job-%d", i+1)
+			if err := jn.appendFinished(id, &Result{ScheduleHash: fmt.Sprintf("h%d", round)}, "", ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if jn.rawRecords != 6 {
+		t.Fatalf("raw records after compaction = %d, want 6 (3 submitted + 3 finish)", jn.rawRecords)
+	}
+	if err := jn.close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(raw), "\n"); n != 6 {
+		t.Fatalf("compacted log has %d lines, want 6", n)
+	}
+	// Replay after compaction: last finish wins.
+	_, jobs, err := openJournal(path, 1, 8, nil)
+	if err != nil {
+		t.Fatalf("re-open: %v", err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(jobs))
+	}
+	for _, jj := range jobs {
+		if !jj.done || jj.result == nil || jj.result.ScheduleHash != "h3" {
+			t.Fatalf("%s replay = %+v, want last finish h3", jj.id, jj)
+		}
+	}
+}
+
+// TestJournalDegradation: an injected journal write error degrades the
+// service — journaling and the result cache turn off — but it keeps serving
+// correct, freshly computed answers.
+func TestJournalDegradation(t *testing.T) {
+	b, err := splash.New("ocean", 4)
+	if err != nil {
+		t.Fatalf("splash.New: %v", err)
+	}
+	src := b.Module.String()
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+
+	svc, err := Open(Config{
+		Workers:     1,
+		JournalPath: path,
+		Faults:      &FaultConfig{Seed: 1, JournalErrEvery: 2}, // second append fails
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer svc.Close(context.Background())
+
+	first := mustDo(t, svc, Request{Source: src}) // submit ok, finish append fails
+	second := mustDo(t, svc, Request{Source: src})
+	if coreOf(first) != coreOf(second) {
+		t.Fatal("degraded service changed answers")
+	}
+	if second.Cached {
+		t.Fatal("degraded service served from the result cache")
+	}
+	snap := svc.Snapshot()
+	if !snap.JournalDegraded {
+		t.Fatal("service not marked degraded after journal write error")
+	}
+	if snap.JournalErrors == 0 {
+		t.Fatal("journal error not counted")
+	}
+	if snap.JobsCompleted != 2 {
+		t.Fatalf("completed = %d, want 2 (degradation must not fail jobs)", snap.JobsCompleted)
+	}
+}
+
+// TestJournalRecoveryCrossCheckDivergence: a journaled result whose hash the
+// pipeline cannot reproduce is a typed divergence — the recovered job flips
+// to failed, the counter moves, and the admission circuit breaker trips
+// instead of the service silently serving the stale answer.
+func TestJournalRecoveryCrossCheckDivergence(t *testing.T) {
+	b, err := splash.New("ocean", 4)
+	if err != nil {
+		t.Fatalf("splash.New: %v", err)
+	}
+	src := b.Module.String()
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+
+	svc, err := Open(Config{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	res := mustDo(t, svc, Request{Source: src})
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tamper with the journaled hash — a corrupted or stale log.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), res.ScheduleHash, "deadbeefdeadbeef", 1)
+	if tampered == string(raw) {
+		t.Fatalf("journal does not contain hash %s", res.ScheduleHash)
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := Open(Config{Workers: 1, JournalPath: path, BreakerThreshold: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc2.Close(context.Background())
+	v := waitStatus(t, svc2, res.JobID, StatusFailed)
+	if v.ErrorKind != "divergence" {
+		t.Fatalf("error kind = %q, want divergence", v.ErrorKind)
+	}
+	snap := svc2.Snapshot()
+	if snap.Divergences == 0 {
+		t.Fatal("divergence not counted")
+	}
+	if snap.BreakerState != "open" || snap.BreakerTrips != 1 {
+		t.Fatalf("breaker = %s/%d trips, want open/1", snap.BreakerState, snap.BreakerTrips)
+	}
+	_, err = svc2.Submit(Request{Source: src})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("submit with open breaker = %v, want ErrCircuitOpen", err)
+	}
+	if ra := RetryAfter(err); ra == 0 {
+		t.Fatalf("RetryAfter(circuit open) = %d, want nonzero", ra)
+	}
+}

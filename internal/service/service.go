@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -69,6 +70,49 @@ type Config struct {
 	SelfCheckRate float64
 	// SelfCheckSeed seeds the deterministic sampling stream.
 	SelfCheckSeed int64
+
+	// JournalPath enables the durable job journal (empty disables): an
+	// append-only JSONL write-ahead log that makes accepted jobs survive
+	// crashes — incomplete jobs are re-executed on restart (determinism
+	// guarantees identical results), completed ones are served from the log
+	// and cross-checked by re-execution in the background.
+	JournalPath string
+	// JournalFsyncEvery batches completion-record fsyncs (default 16;
+	// submitted records are always fsynced before Submit returns).
+	JournalFsyncEvery int
+	// JournalCompactEvery triggers log compaction once the raw record count
+	// exceeds it and twice the live-job count (default 4096).
+	JournalCompactEvery int
+
+	// DefaultDeadline bounds each job's execution when the request carries
+	// no deadline of its own (0 = unbounded).
+	DefaultDeadline time.Duration
+	// MaxRetries is the per-job retry budget for transient failures —
+	// contained panics, injected faults (default 2; negative disables
+	// retries). Deterministic failures are never retried.
+	MaxRetries int
+	// RetryBase/RetryMax shape the exponential backoff between retries
+	// (defaults 5ms/250ms); RetrySeed seeds the deterministic jitter.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	RetrySeed int64
+
+	// MaxInflightBytes bounds the summed request-source size of admitted,
+	// unfinished jobs (default 256 MiB); submissions beyond it are shed with
+	// ErrOverloaded.
+	MaxInflightBytes int64
+	// BreakerThreshold is the divergence count that opens the admission
+	// circuit breaker (default 3); BreakerCooldown is how long it stays open
+	// before half-opening a probe (default 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// RetainJobs bounds the finished-job records kept for Lookup/Wait
+	// (default 4096); beyond it the oldest finished jobs are evicted.
+	RetainJobs int
+
+	// Faults arms the service chaos harness (nil in production).
+	Faults *FaultConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +128,30 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheSize <= 0 {
 		c.ResultCacheSize = 512
 	}
+	if c.JournalFsyncEvery <= 0 {
+		c.JournalFsyncEvery = 16
+	}
+	if c.JournalCompactEvery <= 0 {
+		c.JournalCompactEvery = 4096
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 5 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
+	if c.MaxInflightBytes <= 0 {
+		c.MaxInflightBytes = 256 << 20
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
+	}
 	return c
 }
 
@@ -91,18 +159,31 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg Config
 
-	mu     sync.Mutex
-	closed bool
-	seq    int64
-	jobs   map[string]*job
-	queue  chan *job
+	mu        sync.Mutex
+	closed    bool
+	seq       int64
+	jobs      map[string]*job
+	queue     chan *job
+	doneOrder []string // finished job ids, oldest first (retention eviction)
 
 	wg sync.WaitGroup
+
+	// rootCtx cancels every in-flight job on Kill (crash simulation); Close
+	// drains gracefully and leaves it alone until the drain completes.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
 
 	instr   *lruCache
 	results *lruCache
 	check   *sampler
 	ctr     counters
+
+	journal  *journal // nil when no journal is configured
+	degraded atomic.Bool
+	breaker  *breaker
+	back     *backoff
+	inflight atomic.Int64
+	chaos    *chaos
 
 	// Shared read-only tables for the pipeline.
 	costs *ir.CostModel
@@ -110,8 +191,23 @@ type Service struct {
 }
 
 // New starts a service: the worker pool begins draining the queue
-// immediately. Close shuts it down.
+// immediately. Close shuts it down. A journal that fails to open does not
+// stop the service — it starts degraded (no durability, result cache off)
+// with the failure counted; use Open when the caller wants that error.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		cfg.JournalPath = ""
+		s, _ = Open(cfg)
+		s.degrade(err)
+	}
+	return s
+}
+
+// Open starts a service like New but surfaces journal open/recovery errors
+// instead of degrading, for front ends (cmd/detserve) that should refuse to
+// start without the durability they were asked for.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:     cfg,
@@ -120,47 +216,202 @@ func New(cfg Config) *Service {
 		instr:   newLRU(cfg.InstrCacheSize),
 		results: newLRU(cfg.ResultCacheSize),
 		check:   newSampler(cfg.SelfCheckRate, cfg.SelfCheckSeed),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		back:    newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.RetrySeed),
+		chaos:   newChaos(cfg.Faults),
 		costs:   ir.DefaultCostModel(),
 		est:     estimates.DefaultTable(),
 	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+
+	var recovered []*job
+	if cfg.JournalPath != "" {
+		jn, replayed, err := openJournal(cfg.JournalPath, cfg.JournalFsyncEvery, cfg.JournalCompactEvery, s.chaos)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jn
+		recovered = s.installRecovered(replayed)
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	// Recovered work is enqueued after the pool starts so a recovery load
+	// larger than the queue simply drains through it (blocking sends here,
+	// workers receiving concurrently).
+	for _, j := range recovered {
+		s.queue <- j
+	}
+	return s, nil
+}
+
+// installRecovered folds the replayed journal into the job table: finished
+// jobs are served from the journal (successful ones additionally scheduled
+// for the background determinism cross-check), incomplete ones re-enqueued
+// for execution. Returns the jobs to enqueue, submission order preserved.
+func (s *Service) installRecovered(replayed []*journalJob) []*job {
+	var enqueue []*job
+	closedCh := make(chan struct{})
+	close(closedCh)
+	for _, jj := range replayed {
+		if n, ok := numericID(jj.id); ok && n > s.seq {
+			s.seq = n
+		}
+		switch {
+		case !jj.done:
+			// Incomplete: the crash interrupted it; re-execute. Determinism
+			// makes the re-run provably identical to the lost one.
+			j := &job{id: jj.id, req: jj.req, status: StatusQueued, done: make(chan struct{}), bytes: int64(len(jj.req.Source))}
+			s.jobs[jj.id] = j
+			s.inflight.Add(j.bytes)
+			s.ctr.recovered.Add(1)
+			enqueue = append(enqueue, j)
+		case jj.result != nil:
+			// Completed: serve the journaled result immediately, and queue a
+			// cross-check that re-executes the request and compares schedule
+			// hashes — recovery trusts determinism but verifies it.
+			res := *jj.result
+			res.JobID = jj.id
+			j := &job{id: jj.id, req: jj.req, status: StatusDone, done: closedCh, result: &res}
+			s.jobs[jj.id] = j
+			s.ctr.recovered.Add(1)
+			enqueue = append(enqueue, &job{
+				id:     jj.id + "#verify",
+				req:    jj.req,
+				status: StatusQueued,
+				done:   make(chan struct{}),
+				verify: &verifySpec{target: jj.id, wantHash: res.ScheduleHash},
+			})
+		default:
+			// Failed: the report's rendering and kind survive; the typed
+			// structure does not. Deterministic failures re-verify trivially
+			// if resubmitted — no cross-check needed.
+			j := &job{id: jj.id, req: jj.req, status: StatusFailed, done: closedCh,
+				err: errors.New(jj.errMsg), errKind: jj.errKind}
+			s.jobs[jj.id] = j
+			s.ctr.recovered.Add(1)
+		}
+	}
+	return enqueue
+}
+
+// numericID parses the N of "job-N" ids so a recovered service continues
+// its id sequence past everything in the journal.
+func numericID(id string) (int64, bool) {
+	const prefix = "job-"
+	if len(id) <= len(prefix) || id[:len(prefix)] != prefix {
+		return 0, false
+	}
+	var n int64
+	for _, c := range id[len(prefix):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+// degrade marks the service journal-degraded: journaling stops, and the
+// result cache is disabled so every response is freshly computed — the
+// service stays up and correct, trading cache speed for not serving answers
+// whose durability story just broke.
+func (s *Service) degrade(err error) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.ctr.failures.record("", "journal", fmt.Sprintf("journal degraded: %v", err))
+	}
+	s.ctr.journalErrors.Add(1)
 }
 
 // Submit validates and enqueues a job, returning its id. Rejections are
 // typed: validation failures are *diag.MisuseError (ErrBadConfig /
-// ErrRaceBackend kinds), a full queue is ErrQueueFull, a closed service is
-// ErrClosed.
+// ErrRaceBackend kinds), a full queue is ErrQueueFull, load shedding is
+// ErrOverloaded, an open circuit breaker is ErrCircuitOpen, a closed service
+// is ErrClosed. When a journal is configured, the submitted record is
+// durable (fsynced) before the id is returned.
 func (s *Service) Submit(req Request) (string, error) {
+	return s.submit(nil, req)
+}
+
+func (s *Service) submit(clientCtx context.Context, req Request) (string, error) {
 	if err := normalize(&req); err != nil {
 		s.ctr.rejected.Add(1)
 		return "", err
 	}
+	misuse := func(kind error, detail string) (string, error) {
+		s.ctr.rejected.Add(1)
+		return "", &diag.MisuseError{Op: "service.Submit", ThreadID: -1, Kind: kind, Detail: detail}
+	}
+	// Admission control, cheapest checks first; all run before any journal
+	// write or pipeline work, so overload sheds at near-zero cost.
+	if !s.breaker.allow() {
+		return misuse(ErrCircuitOpen, "determinism divergences tripped the breaker")
+	}
+	bytes := int64(len(req.Source))
+	if s.inflight.Load()+bytes > s.cfg.MaxInflightBytes {
+		return misuse(ErrOverloaded, fmt.Sprintf("in-flight bytes %d + request %d exceed limit %d",
+			s.inflight.Load(), bytes, s.cfg.MaxInflightBytes))
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.ctr.rejected.Add(1)
-		return "", &diag.MisuseError{Op: "service.Submit", ThreadID: -1, Kind: ErrClosed}
+		return misuse(ErrClosed, "")
 	}
-	j := &job{req: req, status: StatusQueued, done: make(chan struct{})}
+	// Reserve the id first and journal outside the lock: the submitted
+	// record must be durable before the client sees the id, and must exist
+	// before any completion record for the same id can be appended.
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return misuse(ErrQueueFull, fmt.Sprintf("queue depth %d reached", cap(s.queue)))
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%d", s.seq)
+	j := &job{id: id, req: req, status: StatusQueued, done: make(chan struct{}), clientCtx: clientCtx, bytes: bytes}
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if s.journal != nil && !s.degraded.Load() {
+		if err := s.journal.appendSubmitted(id, &req); err != nil {
+			// Durability is gone but the service is not: degrade (journaling
+			// off, result cache off) and keep serving.
+			s.degrade(err)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.journalFinished(j, nil, ErrClosed.Error(), "closed")
+		return misuse(ErrClosed, "")
+	}
 	select {
 	case s.queue <- j:
-		s.seq++
-		j.id = fmt.Sprintf("job-%d", s.seq)
-		s.jobs[j.id] = j
+		s.inflight.Add(bytes)
 		s.mu.Unlock()
 		s.ctr.accepted.Add(1)
-		return j.id, nil
+		return id, nil
 	default:
+		// The queue filled between the pre-check and here. The submitted
+		// record may already be durable, so journal a terminal rejection —
+		// otherwise a restart would resurrect a job the client was told was
+		// refused.
+		delete(s.jobs, id)
 		s.mu.Unlock()
-		s.ctr.rejected.Add(1)
-		return "", &diag.MisuseError{
-			Op: "service.Submit", ThreadID: -1, Kind: ErrQueueFull,
-			Detail: fmt.Sprintf("queue depth %d reached", cap(s.queue)),
-		}
+		s.journalFinished(j, nil, ErrQueueFull.Error(), "queue_full")
+		return misuse(ErrQueueFull, fmt.Sprintf("queue depth %d reached", cap(s.queue)))
+	}
+}
+
+// journalFinished appends a job's finish record, degrading on write errors.
+func (s *Service) journalFinished(j *job, res *Result, errMsg, errKind string) {
+	if s.journal == nil || s.degraded.Load() {
+		return
+	}
+	if err := s.journal.appendFinished(j.id, res, errMsg, errKind); err != nil {
+		s.degrade(err)
 	}
 }
 
@@ -186,10 +437,13 @@ func (s *Service) Wait(ctx context.Context, id string) (*Result, error) {
 	return j.result, nil
 }
 
-// Do submits a job and waits for it — the synchronous convenience the tests
-// and the smoke target use.
+// Do submits a job and waits for it — the synchronous convenience the HTTP
+// ?wait=1 path, the tests, and the smoke target use. The context is attached
+// to the job itself, not just the wait: a synchronous client that goes away
+// (an abandoned HTTP request) cancels its job's execution instead of leaving
+// it pinning a worker and a retained result forever.
 func (s *Service) Do(ctx context.Context, req Request) (*Result, error) {
-	id, err := s.Submit(req)
+	id, err := s.submit(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -207,13 +461,20 @@ func (s *Service) Lookup(id string) (*JobView, error) {
 	v := &JobView{ID: j.id, Status: j.status, Result: j.result}
 	if j.err != nil {
 		v.Error = j.err.Error()
-		v.ErrorKind = Classify(j.err)
+		if j.errKind != "" {
+			// Journal-recovered failures keep their original classification;
+			// the typed report structure did not survive serialization.
+			v.ErrorKind = j.errKind
+		} else {
+			v.ErrorKind = Classify(j.err)
+		}
 	}
 	return v, nil
 }
 
 // Snapshot returns the service counters.
 func (s *Service) Snapshot() StatsSnapshot {
+	breakerState, breakerTrips := s.breaker.snapshot()
 	snap := StatsSnapshot{
 		JobsAccepted:      s.ctr.accepted.Load(),
 		JobsCompleted:     s.ctr.completed.Load(),
@@ -230,6 +491,18 @@ func (s *Service) Snapshot() StatsSnapshot {
 		ResultCacheSize:   s.results.len(),
 		SelfChecks:        s.ctr.selfChecks.Load(),
 		Divergences:       s.ctr.divergences.Load(),
+		Retries:           s.ctr.retries.Load(),
+		Timeouts:          s.ctr.timeouts.Load(),
+		InflightBytes:     s.inflight.Load(),
+		MaxInflightBytes:  s.cfg.MaxInflightBytes,
+		JournalEnabled:    s.journal != nil,
+		JournalDegraded:   s.degraded.Load(),
+		JournalErrors:     s.ctr.journalErrors.Load(),
+		RecoveredJobs:     s.ctr.recovered.Load(),
+		RecoveryChecks:    s.ctr.recoverChecks.Load(),
+		BreakerState:      breakerState,
+		BreakerTrips:      breakerTrips,
+		RecentFailures:    s.ctr.failures.snapshot(),
 		Stages: map[string]StageStats{
 			"parse":      s.ctr.parse.snapshot(),
 			"instrument": s.ctr.instrument.snapshot(),
@@ -237,12 +510,16 @@ func (s *Service) Snapshot() StatsSnapshot {
 			"overhead":   s.ctr.overhead.snapshot(),
 		},
 	}
+	if s.journal != nil {
+		snap.JournalJobs, snap.JournalFinished = s.journal.snapshotLive()
+	}
 	return snap
 }
 
 // Close stops accepting jobs, drains the queue and in-flight work, and
 // returns when every worker has exited (or ctx expires; workers then finish
-// in the background).
+// in the background). On a clean drain the journal is flushed and closed, so
+// a graceful shutdown leaves every accepted job's finish record durable.
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
@@ -257,10 +534,39 @@ func (s *Service) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.rootCancel()
+		if s.journal != nil {
+			if err := s.journal.close(); err != nil && !s.degraded.Load() {
+				return err
+			}
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Kill simulates a crash (the chaos harness's SIGTERM): in-flight jobs are
+// canceled, the queue stops, and the journal's unflushed batch buffer is
+// dropped — exactly the state a process kill leaves behind. Completion
+// records inside the batch-fsync window are lost by design; recovery
+// re-executes those jobs, and determinism makes the re-runs identical.
+func (s *Service) Kill() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	// The journal dies before in-flight jobs are canceled: nothing a dying
+	// worker writes after this point can become durable, exactly like a real
+	// crash. Canceled jobs stay incomplete in the log and recover by
+	// re-execution.
+	if s.journal != nil {
+		s.journal.kill()
+	}
+	s.rootCancel()
+	s.wg.Wait()
 }
 
 // Classify maps a job error to its report family for monitoring and HTTP
@@ -275,8 +581,16 @@ func Classify(err error) string {
 		return "race"
 	case errors.Is(err, diag.ErrDivergence):
 		return "divergence"
+	case errors.Is(err, diag.ErrRetriesExhausted):
+		return "retries_exhausted"
+	case errors.Is(err, diag.ErrDeadline):
+		return "timeout"
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit_open"
 	case errors.Is(err, ErrClosed):
 		return "closed"
 	case errors.Is(err, ErrUnknownJob):
@@ -297,31 +611,189 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob executes one job to completion, containing panics so a single bad
-// job can never tear down the pool.
+// runJob executes one job to completion: deadline/cancellation context,
+// bounded retry of transient failures, panic containment (a single bad job
+// can never tear down the pool), journaling, and breaker accounting.
 func (s *Service) runJob(j *job) {
+	if j.verify != nil {
+		s.runVerify(j)
+		return
+	}
 	s.setStatus(j, StatusRunning)
-	res, err := func() (res *Result, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				res, err = nil, fmt.Errorf("service: job %s: contained panic: %v", j.id, r)
+
+	// The job context merges three cancellation sources: service shutdown
+	// (rootCtx, via Kill), the synchronous submitter's disconnect
+	// (clientCtx), and the job's deadline. The sim engine polls it
+	// cooperatively, so cancellation lands mid-simulation, not after.
+	base := j.clientCtx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	stop := context.AfterFunc(s.rootCtx, cancel)
+	defer stop()
+	defer cancel()
+	deadline := s.cfg.DefaultDeadline
+	if j.req.DeadlineMS > 0 {
+		deadline = time.Duration(j.req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancelDL context.CancelFunc
+		ctx, cancelDL = context.WithTimeout(ctx, deadline)
+		defer cancelDL()
+	}
+
+	var res *Result
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		res, err = s.attempt(ctx, j)
+		if err == nil || !retryable(err) || attempts > s.cfg.MaxRetries {
+			break
+		}
+		s.ctr.retries.Add(1)
+		if serr := sleepCtx(ctx, s.back.delay(attempts)); serr != nil {
+			err = serr // the deadline expired mid-backoff
+			break
+		}
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		// Deadline expiry: typed timeout, never retried.
+		err = &diag.TimeoutError{Op: "service.job " + j.id, Deadline: deadline, Cause: context.DeadlineExceeded}
+		s.ctr.timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+		// Client disconnect or shutdown: same typed family, no deadline.
+		err = &diag.TimeoutError{Op: "service.job " + j.id, Cause: context.Canceled}
+		s.ctr.timeouts.Add(1)
+	case retryable(err) && attempts > 1:
+		err = &diag.RetryError{Op: "service.job " + j.id, Attempts: attempts, Last: err}
+	}
+	s.finish(j, res, err)
+}
+
+// attempt is one panic-contained execution of the job's pipeline; the chaos
+// harness's injected worker panics land here, tagged transient.
+func (s *Service) attempt(ctx context.Context, j *job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("service: job %s: %w: %w", j.id, errContainedPanic, e)
+			} else {
+				err = fmt.Errorf("service: job %s: %w: %v", j.id, errContainedPanic, r)
 			}
-		}()
-		return s.execute(j)
+		}
 	}()
+	if s.chaos.workerPanic() {
+		panic(fmt.Errorf("%w: worker panic", diag.ErrInjected))
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	return s.execute(ctx, j)
+}
+
+// finish publishes a job's outcome: status, counters, journal finish record,
+// failure ring, breaker feedback, admission release, retention eviction.
+func (s *Service) finish(j *job, res *Result, err error) {
+	kind := Classify(err)
 	s.mu.Lock()
 	if err != nil {
 		j.status, j.err = StatusFailed, err
 	} else {
 		j.status, j.result = StatusDone, res
 	}
+	s.retainLocked(j)
 	s.mu.Unlock()
+	s.inflight.Add(-j.bytes)
 	if err != nil {
 		s.ctr.failed.Add(1)
+		s.ctr.failures.record(j.id, kind, err.Error())
+		// Shutdown-canceled failures are crash artifacts, not job outcomes:
+		// they stay out of the journal so recovery re-executes the job (a
+		// genuine deterministic failure reproduces on the re-run anyway).
+		if s.rootCtx.Err() == nil {
+			s.journalFinished(j, nil, err.Error(), kind)
+		}
 	} else {
 		s.ctr.completed.Add(1)
+		s.journalFinished(j, res, "", "")
+	}
+	// Breaker feedback: divergences are the trip signal; any clean
+	// completion is the close/decay signal. Other failures (deadlock, race,
+	// timeout) are program- or policy-level and say nothing about the
+	// service's own soundness.
+	if errors.Is(err, diag.ErrDivergence) {
+		s.breaker.onDivergence()
+	} else if err == nil {
+		s.breaker.onSuccess()
 	}
 	close(j.done)
+}
+
+// retainLocked appends j to the finished order and evicts the oldest
+// finished jobs beyond Config.RetainJobs, so a long-running service's job
+// table cannot grow without bound. Callers hold s.mu.
+func (s *Service) retainLocked(j *job) {
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.RetainJobs {
+		victim := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.jobs, victim)
+	}
+}
+
+// runVerify is the recovery determinism cross-check: re-execute a journaled
+// completed job's request and compare schedule hashes. A mismatch means the
+// journal and the pipeline disagree — a typed divergence that flips the
+// recovered job to failed and feeds the circuit breaker, never a silently
+// wrong answer served from the log.
+func (s *Service) runVerify(j *job) {
+	defer close(j.done)
+	s.ctr.recoverChecks.Add(1)
+	hash, err := func() (hash string, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				hash, err = "", fmt.Errorf("service: recovery check %s: contained panic: %v", j.verify.target, r)
+			}
+		}()
+		var lat StageLatency
+		ie, _, err := s.instrumented(&j.req, &lat)
+		if err != nil {
+			return "", err
+		}
+		ent, err := s.simulate(s.rootCtx, ie, &j.req)
+		if err != nil {
+			return "", err
+		}
+		return ent.res.ScheduleHash, nil
+	}()
+	if s.rootCtx.Err() != nil {
+		return // shutdown raced the check; the next restart redoes it
+	}
+	if err == nil && hash == j.verify.wantHash {
+		s.breaker.onSuccess()
+		return
+	}
+	if err == nil {
+		err = fmt.Errorf("service: recovery cross-check: %w: journaled schedule hash %s, re-execution produced %s",
+			diag.ErrDivergence, j.verify.wantHash, hash)
+	} else {
+		err = fmt.Errorf("service: recovery cross-check: %w: journaled result could not be reproduced: %w",
+			diag.ErrDivergence, err)
+	}
+	s.ctr.divergences.Add(1)
+	s.ctr.failures.record(j.verify.target, "divergence", err.Error())
+	s.breaker.onDivergence()
+	s.mu.Lock()
+	if target, ok := s.jobs[j.verify.target]; ok {
+		target.status, target.err, target.result, target.errKind = StatusFailed, err, nil, "divergence"
+	}
+	s.mu.Unlock()
+	s.journalFinished(&job{id: j.verify.target}, nil, err.Error(), "divergence")
 }
 
 func (s *Service) setStatus(j *job, st Status) {
@@ -331,8 +803,11 @@ func (s *Service) setStatus(j *job, st Status) {
 }
 
 // execute runs the cached pipeline: instrumentation cache → result cache →
-// simulate on miss (or on a sampled self-check).
-func (s *Service) execute(j *job) (*Result, error) {
+// simulate on miss (or on a sampled self-check). While the service is
+// journal-degraded the result cache is bypassed entirely: every answer is
+// freshly computed, trading speed for soundness the broken journal can no
+// longer police.
+func (s *Service) execute(ctx context.Context, j *job) (*Result, error) {
 	req := &j.req
 	var lat StageLatency
 
@@ -341,31 +816,36 @@ func (s *Service) execute(j *job) (*Result, error) {
 		return nil, err
 	}
 
+	cacheOn := !s.degraded.Load()
 	rk := resultKey(ie.text, req)
-	if v, ok := s.results.get(rk); ok {
-		s.ctr.resultHits.Add(1)
-		ent := v.(*resultEntry)
-		selfChecked := false
-		if s.check.sample() {
-			s.ctr.selfChecks.Add(1)
-			if err := s.selfCheck(ie, req, ent); err != nil {
-				s.ctr.divergences.Add(1)
-				return nil, err
+	if cacheOn {
+		if v, ok := s.results.get(rk); ok {
+			s.ctr.resultHits.Add(1)
+			ent := v.(*resultEntry)
+			selfChecked := false
+			if s.check.sample() {
+				s.ctr.selfChecks.Add(1)
+				if err := s.selfCheck(ctx, ie, req, ent); err != nil {
+					s.ctr.divergences.Add(1)
+					return nil, err
+				}
+				selfChecked = true
 			}
-			selfChecked = true
+			return s.assemble(j, ie, ent, true, instrHit, selfChecked, &lat)
 		}
-		return s.assemble(j, ie, ent, true, instrHit, selfChecked, &lat)
+		s.ctr.resultMisses.Add(1)
 	}
-	s.ctr.resultMisses.Add(1)
 
 	start := time.Now()
-	ent, err := s.simulate(ie, req)
+	ent, err := s.simulate(ctx, ie, req)
 	lat.SimulateNS = time.Since(start).Nanoseconds()
 	s.ctr.simulate.record(lat.SimulateNS)
 	if err != nil {
 		return nil, err
 	}
-	s.results.add(rk, ent)
+	if cacheOn {
+		s.results.add(rk, ent)
+	}
 	return s.assemble(j, ie, ent, false, instrHit, false, &lat)
 }
 
@@ -408,7 +888,11 @@ func (s *Service) instrumented(req *Request, lat *StageLatency) (*instrEntry, bo
 
 // simulate runs one deterministic simulation from an instrumentation entry,
 // always recording the schedule (it is the cache's self-check reference).
-func (s *Service) simulate(ie *instrEntry, req *Request) (*resultEntry, error) {
+// The context is threaded into the engine as its cooperative cancellation
+// hook: deadlines and disconnects land mid-simulation. Cancellation never
+// mutates engine state, so uncancelled runs are bitwise identical with or
+// without a deadline configured.
+func (s *Service) simulate(ctx context.Context, ie *instrEntry, req *Request) (*resultEntry, error) {
 	mod := ie.mod.Clone()
 	cfg := interp.Config{
 		Module:     mod,
@@ -435,6 +919,7 @@ func (s *Service) simulate(ie *instrEntry, req *Request) (*resultEntry, error) {
 		NumBarriers: mod.NumBars,
 		RecordTrace: true,
 		Observer:    mach.Observer(),
+		Cancel:      ctx.Err,
 	}, interp.Programs(threads))
 	stats, err := eng.Run()
 	if err != nil {
@@ -463,8 +948,8 @@ func (s *Service) simulate(ie *instrEntry, req *Request) (*resultEntry, error) {
 // selfCheck re-executes a cache hit and compares the fresh schedule against
 // the stored one. A mismatch is the weak-determinism contract failing under
 // the service — returned as the typed divergence report.
-func (s *Service) selfCheck(ie *instrEntry, req *Request, ent *resultEntry) error {
-	fresh, err := s.simulate(ie, req)
+func (s *Service) selfCheck(ctx context.Context, ie *instrEntry, req *Request, ent *resultEntry) error {
+	fresh, err := s.simulate(ctx, ie, req)
 	if err != nil {
 		return fmt.Errorf("service: self-check re-execution: %w", err)
 	}

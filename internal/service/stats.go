@@ -1,6 +1,7 @@
 package service
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -23,21 +24,53 @@ type counters struct {
 	selfChecks  atomic.Int64
 	divergences atomic.Int64
 
+	retries       atomic.Int64
+	timeouts      atomic.Int64
+	journalErrors atomic.Int64
+	recovered     atomic.Int64
+	recoverChecks atomic.Int64
+
 	parse      stageAgg
 	instrument stageAgg
 	simulate   stageAgg
 	overhead   stageAgg
+
+	failures failureRing
 }
 
-// stageAgg accumulates one pipeline stage's latency.
+// ringSamples bounds every sample-holding accumulator: a long-running
+// detserve records millions of jobs, but its stats memory must stay
+// constant, so latency percentiles come from a fixed ring of the most
+// recent samples and failures from a fixed ring of the most recent reports.
+// Lifetime counts/totals remain exact (they are plain counters).
+const (
+	latencyRingSize = 256
+	failureRingSize = 64
+)
+
+// stageAgg accumulates one pipeline stage's latency: exact lifetime
+// count/total (atomics) plus a bounded ring of recent samples for the
+// percentile snapshot.
 type stageAgg struct {
 	count   atomic.Int64
 	totalNS atomic.Int64
+
+	mu      sync.Mutex
+	samples [latencyRingSize]int64
+	next    int
+	filled  bool
 }
 
 func (a *stageAgg) record(ns int64) {
 	a.count.Add(1)
 	a.totalNS.Add(ns)
+	a.mu.Lock()
+	a.samples[a.next] = ns
+	a.next++
+	if a.next == len(a.samples) {
+		a.next, a.filled = 0, true
+	}
+	a.mu.Unlock()
 }
 
 func (a *stageAgg) snapshot() StageStats {
@@ -46,14 +79,68 @@ func (a *stageAgg) snapshot() StageStats {
 	if c > 0 {
 		s.AvgNS = t / c
 	}
+	a.mu.Lock()
+	n := a.next
+	if a.filled {
+		n = len(a.samples)
+	}
+	recent := make([]int64, n)
+	copy(recent, a.samples[:n])
+	a.mu.Unlock()
+	if n > 0 {
+		sort.Slice(recent, func(i, j int) bool { return recent[i] < recent[j] })
+		s.P50NS = recent[n/2]
+		s.P95NS = recent[(n*95)/100]
+	}
 	return s
 }
 
-// StageStats is one pipeline stage's aggregate latency.
+// StageStats is one pipeline stage's aggregate latency. P50/P95 are computed
+// over the bounded recent-sample ring, not the whole lifetime.
 type StageStats struct {
 	Count   int64 `json:"count"`
 	TotalNS int64 `json:"total_ns"`
 	AvgNS   int64 `json:"avg_ns"`
+	P50NS   int64 `json:"p50_ns,omitempty"`
+	P95NS   int64 `json:"p95_ns,omitempty"`
+}
+
+// FailureRecord is one entry of the bounded recent-failures ring.
+type FailureRecord struct {
+	JobID string `json:"job_id"`
+	Kind  string `json:"kind"`
+	Error string `json:"error"`
+}
+
+// failureRing retains the most recent failureRingSize failures; older ones
+// are overwritten, so failure history never grows without bound.
+type failureRing struct {
+	mu     sync.Mutex
+	buf    [failureRingSize]FailureRecord
+	next   int
+	filled bool
+}
+
+func (r *failureRing) record(id, kind, msg string) {
+	r.mu.Lock()
+	r.buf[r.next] = FailureRecord{JobID: id, Kind: kind, Error: msg}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.filled = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained failures, oldest first.
+func (r *failureRing) snapshot() []FailureRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []FailureRecord
+	if r.filled {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
 }
 
 // StatsSnapshot is the GET /v1/stats payload.
@@ -75,11 +162,41 @@ type StatsSnapshot struct {
 	ResultCacheSize   int   `json:"result_cache_size"`
 
 	// SelfChecks counts sampled cache hits that were re-executed;
-	// Divergences counts self-checks whose re-execution disagreed with the
-	// stored schedule. Any nonzero value here means the weak-determinism
-	// contract was violated somewhere below the service.
+	// Divergences counts self-checks and recovery cross-checks whose
+	// re-execution disagreed with the stored schedule. Any nonzero value
+	// here means the weak-determinism contract was violated somewhere below
+	// the service.
 	SelfChecks  int64 `json:"self_checks"`
 	Divergences int64 `json:"divergences"`
+
+	// Robustness counters. Retries counts re-attempted transient failures;
+	// Timeouts counts jobs canceled by deadline or client disconnect.
+	Retries  int64 `json:"retries"`
+	Timeouts int64 `json:"timeouts"`
+
+	// InflightBytes is the admitted-but-unfinished request weight the
+	// in-flight-bytes load shedder tracks against MaxInflightBytes.
+	InflightBytes    int64 `json:"inflight_bytes"`
+	MaxInflightBytes int64 `json:"max_inflight_bytes"`
+
+	// Journal state: whether a journal is configured and healthy, how many
+	// jobs it knows (and how many have durable finish records), write
+	// errors, and jobs recovered/cross-checked after the last restart.
+	JournalEnabled  bool  `json:"journal_enabled"`
+	JournalDegraded bool  `json:"journal_degraded"`
+	JournalJobs     int   `json:"journal_jobs,omitempty"`
+	JournalFinished int   `json:"journal_finished,omitempty"`
+	JournalErrors   int64 `json:"journal_errors"`
+	RecoveredJobs   int64 `json:"recovered_jobs"`
+	RecoveryChecks  int64 `json:"recovery_checks"`
+
+	// Circuit-breaker state ("closed", "open", "half-open") and lifetime
+	// trip count.
+	BreakerState string `json:"breaker_state"`
+	BreakerTrips int64  `json:"breaker_trips"`
+
+	// RecentFailures is the bounded failure ring, oldest first.
+	RecentFailures []FailureRecord `json:"recent_failures,omitempty"`
 
 	Stages map[string]StageStats `json:"stage_latency"`
 }

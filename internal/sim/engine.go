@@ -127,6 +127,17 @@ type Config struct {
 	RecordTrace bool
 	// Observer, when non-nil, is notified of every synchronization event.
 	Observer SyncObserver
+	// Cancel, when non-nil, is polled every CancelEvery engine steps; a
+	// non-nil return aborts the run with that error wrapped in ErrCanceled.
+	// This is the cooperative cancellation point the service layer's job
+	// deadlines thread down to (a context.Context's Err). Cancellation never
+	// mutates simulation state, so an uncancelled run is bitwise identical
+	// with or without the hook installed.
+	Cancel func() error
+	// CancelEvery is the polling stride for Cancel (default 1024 steps) —
+	// coarse enough to keep the hot loop branch-predictable, fine enough
+	// that a runaway simulation notices its deadline within microseconds.
+	CancelEvery int64
 	// Reference selects the original O(threads) scheduling implementation
 	// (linear pickRunnable scan, re-collected sort.Slice acquirer ordering)
 	// instead of the indexed run-queue heap. Both orderings are total on
@@ -237,10 +248,17 @@ var ErrDeadlock = diag.ErrDeadlock
 // ErrStepLimit is wrapped by Run when MaxSteps is exceeded.
 var ErrStepLimit = errors.New("sim: step limit exceeded")
 
+// ErrCanceled is wrapped by Run when Config.Cancel reports cancellation; the
+// hook's own error (typically a context error) is wrapped alongside it.
+var ErrCanceled = errors.New("sim: run canceled")
+
 // New creates an engine over the given per-thread programs.
 func New(cfg Config, progs []Program) *Engine {
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 500_000_000
+	}
+	if cfg.CancelEvery <= 0 {
+		cfg.CancelEvery = 1024
 	}
 	if cfg.BarrierParticipants == 0 {
 		cfg.BarrierParticipants = len(progs)
@@ -365,6 +383,11 @@ func (e *Engine) Run() (*Stats, error) {
 		e.stats.Steps++
 		if e.stats.Steps > e.cfg.MaxSteps {
 			return nil, fmt.Errorf("%w (%d)", ErrStepLimit, e.cfg.MaxSteps)
+		}
+		if e.cfg.Cancel != nil && e.stats.Steps%e.cfg.CancelEvery == 0 {
+			if cerr := e.cfg.Cancel(); cerr != nil {
+				return nil, fmt.Errorf("%w after %d steps: %w", ErrCanceled, e.stats.Steps, cerr)
+			}
 		}
 		if t.into != nil {
 			err = t.into.StepInto(&st)

@@ -37,12 +37,31 @@ type JobResult = service.Result
 type JobView = service.JobView
 
 // ServiceStats is the service's counter snapshot (cache hits, queue depth,
-// per-stage latency, self-check divergences).
+// per-stage latency, self-check divergences, journal/breaker/retry state).
 type ServiceStats = service.StatsSnapshot
 
+// ServiceFaults arms the service chaos harness (worker panics, journal write
+// errors) for fault-tolerance testing; production configs leave it nil.
+type ServiceFaults = service.FaultConfig
+
+// JobFailureRecord is one entry of the bounded recent-failures ring in
+// ServiceStats.
+type JobFailureRecord = service.FailureRecord
+
 // NewService starts a service; its worker pool begins draining immediately.
-// Shut down with Service.Close.
+// Shut down with Service.Close. A configured journal that fails to open does
+// not stop the service — it starts degraded; use OpenService to surface the
+// error instead.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OpenService starts a service like NewService but returns journal
+// open/recovery errors, for callers that should refuse to run without the
+// durability they asked for. With ServiceConfig.JournalPath set, accepted
+// jobs are fsynced before Submit returns and survive crashes: restart
+// re-executes incomplete jobs (weak determinism guarantees identical
+// results) and serves completed ones from the log, cross-checking them by
+// background re-execution.
+func OpenService(cfg ServiceConfig) (*Service, error) { return service.Open(cfg) }
 
 // Service-level rejection sentinels for errors.Is.
 var (
@@ -52,9 +71,21 @@ var (
 	ErrServiceClosed = service.ErrClosed
 	// ErrUnknownJob: no job with the requested id.
 	ErrUnknownJob = service.ErrUnknownJob
+	// ErrServiceOverloaded: in-flight request bytes exceed the admission
+	// bound; retry after the queue drains.
+	ErrServiceOverloaded = service.ErrOverloaded
+	// ErrCircuitOpen: repeated determinism divergences opened the admission
+	// circuit breaker; the service is refusing work while its soundness is
+	// in doubt.
+	ErrCircuitOpen = service.ErrCircuitOpen
 )
 
 // ClassifyJobError maps a job error onto its report family ("deadlock",
-// "race", "divergence", "misuse", "queue_full", ...), for monitoring and
-// HTTP status mapping.
+// "race", "divergence", "misuse", "queue_full", "timeout", "overloaded",
+// ...), for monitoring and HTTP status mapping.
 func ClassifyJobError(err error) string { return service.Classify(err) }
+
+// JobRetryAfter suggests, in seconds, when a rejected submission is worth
+// retrying (the Retry-After header on detserve's 429/503 responses); zero
+// means the error is not a backpressure rejection.
+func JobRetryAfter(err error) int { return service.RetryAfter(err) }
