@@ -1,7 +1,7 @@
 GO ?= go
 TIMEOUT ?= 10m
 
-.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke cluster-smoke
 
 # check is what CI runs: build, vet, full test suite under the race detector.
 check: build vet race
@@ -53,3 +53,12 @@ serve-smoke:
 # `make test`; -short keeps this target CI-cheap.
 chaos-smoke:
 	$(GO) test -run 'TestChaos' -short -count=1 -timeout $(TIMEOUT) ./internal/service/
+
+# cluster-smoke proves the shard group end to end over real loopback HTTP:
+# boot a 3-node cluster (each node with its own journal), sweep jobs across
+# it, kill one node mid-sweep, restart it on its journal, and require zero
+# lost jobs, cluster-wide schedule-hash identity, and zero divergences. The
+# in-memory 20-schedule cluster chaos property (kills + partitions) runs in
+# `make test` as TestClusterChaosProperty.
+cluster-smoke:
+	$(GO) run ./cmd/detserve -cluster-smoke

@@ -1,0 +1,49 @@
+package detlock
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// Cluster layer: a fault-tolerant shard group of services. Weak determinism
+// is the coherence protocol — any node can recompute any job and obtain the
+// byte-identical result — so the cluster replicates without consensus:
+// content-addressed result caches are sharded by consistent hashing, misses
+// fill from the shard owner (deadline + one hedged retry) and fall back to
+// local recomputation on any peer failure, idle nodes steal queued jobs from
+// loaded peers, and the job journal ships to a standby for warm takeover
+// through the ordinary crash-recovery path. A ClusterNode with no peers and
+// no standby is bitwise-identical to the bare service. cmd/detserve wires
+// this behind -peers / -standby / -shards.
+
+// ClusterNode is one member of a detserve shard group.
+type ClusterNode = cluster.Node
+
+// ClusterConfig parameterizes OpenClusterNode.
+type ClusterConfig = cluster.Config
+
+// ClusterStats is the node's cluster-layer counter snapshot (fills, offers,
+// steals, shipping).
+type ClusterStats = cluster.Stats
+
+// ClusterPeerStatus is one peer's liveness state as seen by a node's
+// deterministic failure detector.
+type ClusterPeerStatus = cluster.PeerStatus
+
+// ClusterLoopNet is an in-memory partitionable transport for deterministic
+// cluster tests (node kill, restart, network partition injection).
+type ClusterLoopNet = cluster.LoopNet
+
+// OpenClusterNode starts a cluster node: the inner service plus membership,
+// sharded cache fill, work stealing and journal shipping, all reachable
+// through ClusterNode.Handler.
+func OpenClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return cluster.Open(cfg) }
+
+// NewClusterLoopNet returns an empty in-memory cluster transport.
+func NewClusterLoopNet() *ClusterLoopNet { return cluster.NewLoopNet() }
+
+// ClusterTakeover promotes a shipped journal into a running service — the
+// standby's warm-takeover path, reusing crash recovery verbatim.
+func ClusterTakeover(shipPath string, cfg ServiceConfig) (*Service, error) {
+	return cluster.Takeover(shipPath, service.Config(cfg))
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// runClusterSmoke is the `make cluster-smoke` self-test: boot a real 3-node
+// cluster on loopback HTTP, sweep jobs across it, kill one node mid-sweep,
+// restart it on its own journal, and verify zero lost jobs — every accepted
+// id reaches done with the same schedule hash everywhere — with zero
+// determinism divergences observed by any node.
+func runClusterSmoke() error {
+	dir, err := os.MkdirTemp("", "detserve-cluster-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Listeners first: the peer list must be known before any node starts.
+	const nNodes = 3
+	lns := make([]net.Listener, nNodes)
+	addrs := make([]string, nNodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	type member struct {
+		node *cluster.Node
+		srv  *http.Server
+	}
+	boot := func(i int, ln net.Listener) (*member, error) {
+		node, err := cluster.Open(cluster.Config{
+			Self:          addrs[i],
+			Peers:         addrs,
+			ProbeInterval: 50 * time.Millisecond,
+			StealInterval: 50 * time.Millisecond,
+			FailThreshold: 2,
+			Service: service.Config{
+				Workers:      2,
+				JournalPath:  filepath.Join(dir, fmt.Sprintf("node-%d.journal", i)),
+				StealReclaim: 250 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		srv := &http.Server{Handler: mountNode(newHandler(node.Service()), node)}
+		go srv.Serve(ln)
+		return &member{node: node, srv: srv}, nil
+	}
+
+	members := make([]*member, nNodes)
+	for i, ln := range lns {
+		m, err := boot(i, ln)
+		if err != nil {
+			return err
+		}
+		members[i] = m
+	}
+	defer func() {
+		for _, m := range members {
+			if m != nil {
+				m.srv.Close()
+				m.node.Close(context.Background())
+			}
+		}
+	}()
+
+	// Every node must come up ready.
+	for _, addr := range addrs {
+		if err := waitReady(addr, 5*time.Second); err != nil {
+			return err
+		}
+	}
+
+	submit := func(i int, perturb int64) (string, error) {
+		body, err := json.Marshal(service.Request{Source: smokeProgram, PerturbSeed: perturb})
+		if err != nil {
+			return "", err
+		}
+		resp, err := http.Post("http://"+addrs[i]+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			return "", fmt.Errorf("node %d: submit status %d: %s", i, resp.StatusCode, payload)
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return "", err
+		}
+		return out.ID, nil
+	}
+
+	// The sweep: jobs round-robin across the cluster, node 1 murdered midway
+	// and restarted on its own journal a few submissions later.
+	const sweep = 12
+	const victim = 1
+	type accepted struct {
+		node int
+		id   string
+		seed int64
+	}
+	var jobs []accepted
+	for k := 0; k < sweep; k++ {
+		if k == sweep/2 {
+			members[victim].srv.Close()
+			members[victim].node.Kill()
+			members[victim] = nil
+			fmt.Printf("detserve: cluster-smoke: killed node %d mid-sweep\n", victim)
+		}
+		if k == sweep/2+3 {
+			ln, err := net.Listen("tcp", addrs[victim])
+			if err != nil {
+				return fmt.Errorf("rebind %s: %w", addrs[victim], err)
+			}
+			m, err := boot(victim, ln)
+			if err != nil {
+				return err
+			}
+			members[victim] = m
+			if err := waitReady(addrs[victim], 5*time.Second); err != nil {
+				return err
+			}
+			fmt.Printf("detserve: cluster-smoke: restarted node %d\n", victim)
+		}
+		target := k % nNodes
+		if members[target] == nil {
+			target = (target + 1) % nNodes // the victim is down: reroute
+		}
+		id, err := submit(target, int64(k%4))
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, accepted{node: target, id: id, seed: int64(k % 4)})
+	}
+
+	// Zero lost jobs: every accepted id completes on its node, and identical
+	// perturbations yield identical schedule hashes cluster-wide.
+	hashes := map[int64]string{}
+	for _, j := range jobs {
+		view, err := waitJob(addrs[j.node], j.id, 15*time.Second)
+		if err != nil {
+			return err
+		}
+		if view.Result == nil {
+			return fmt.Errorf("node %d job %s: done without result", j.node, j.id)
+		}
+		if prev, ok := hashes[j.seed]; ok && prev != view.Result.ScheduleHash {
+			return fmt.Errorf("divergent schedule hash for seed %d: %s vs %s", j.seed, prev, view.Result.ScheduleHash)
+		}
+		hashes[j.seed] = view.Result.ScheduleHash
+	}
+
+	// Zero divergences anywhere.
+	for i, addr := range addrs {
+		resp, err := http.Get("http://" + addr + "/v1/stats")
+		if err != nil {
+			return err
+		}
+		var snap service.StatsSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if snap.Divergences != 0 {
+			return fmt.Errorf("node %d observed %d divergences", i, snap.Divergences)
+		}
+	}
+	fmt.Printf("detserve: cluster-smoke: %d jobs survived a mid-sweep node kill, 0 lost, 0 divergences\n", sweep)
+	return nil
+}
+
+// waitReady polls /readyz until 200 or the deadline.
+func waitReady(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never became ready: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitJob polls a job until it reaches a terminal state.
+func waitJob(addr, id string, timeout time.Duration) (*service.JobView, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+		if err == nil {
+			var view service.JobView
+			derr := json.NewDecoder(resp.Body).Decode(&view)
+			resp.Body.Close()
+			if derr == nil && resp.StatusCode == http.StatusOK {
+				switch view.Status {
+				case service.StatusDone:
+					return &view, nil
+				case service.StatusFailed:
+					return nil, fmt.Errorf("job %s failed: %s (%s)", id, view.Error, view.ErrorKind)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s on %s not done after %v", id, addr, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -6,8 +6,11 @@
 //
 //	detserve [-addr :8080] [-workers N] [-queue N] [-self-check RATE] \
 //	         [-instr-cache N] [-result-cache N] [-pprof ADDR] \
-//	         [-journal PATH] [-deadline DUR] [-max-retries N]
+//	         [-journal PATH] [-deadline DUR] [-max-retries N] \
+//	         [-peers A,B,C] [-self ADDR] [-shards N] \
+//	         [-standby ADDR] [-ship-path PATH]
 //	detserve -smoke
+//	detserve -cluster-smoke
 //
 // Endpoints:
 //
@@ -17,6 +20,18 @@
 //	                     client that disconnects cancels its job.
 //	GET  /v1/jobs/{id}   job status/result (service.JobView JSON).
 //	GET  /v1/stats       service counters (service.StatsSnapshot JSON).
+//	GET  /healthz        liveness + queue depth (200 while the process runs).
+//	GET  /readyz         readiness (503 while draining, journal-degraded, or
+//	                     divergence circuit breaker open).
+//	     /internal/v1/*  cluster peer protocol (result fill, offers, work
+//	                     stealing, journal shipping) — see internal/cluster.
+//
+// Clustering: -peers enables a consistent-hash shard group over the listed
+// nodes (peer cache fill with hedged retry, work stealing, deterministic
+// health probing); -standby ships the job journal to a node running with
+// -ship-path for warm takeover. Every peer failure degrades to local
+// recomputation — never a client-visible error. See README "Running a
+// cluster" and DESIGN.md §10.
 //
 // Status codes: 400 for configuration misuse, 404 for unknown jobs, 422 for
 // jobs that failed with a structured report (deadlock, race, divergence),
@@ -59,9 +74,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -78,6 +95,13 @@ func main() {
 		deadlineF   = flag.Duration("deadline", 0, "default per-job execution deadline (0 = unbounded)")
 		maxRetries  = flag.Int("max-retries", 2, "transient-failure retries per job (0 disables)")
 		smoke       = flag.Bool("smoke", false, "run the cache-coherence smoke test and exit")
+
+		self         = flag.String("self", "", "advertised cluster address (default: -addr)")
+		peersF       = flag.String("peers", "", "comma-separated peer addresses (enables sharded peer cache fill and work stealing)")
+		standby      = flag.String("standby", "", "standby address to ship the job journal to")
+		shards       = flag.Int("shards", 0, "virtual shards per node on the hash ring (0 = default 64)")
+		shipPath     = flag.String("ship-path", "", "act as a standby: persist shipped journal records here")
+		clusterSmoke = flag.Bool("cluster-smoke", false, "run the 3-node kill-one-mid-sweep smoke test and exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -120,23 +144,52 @@ func main() {
 		fmt.Println("detserve: smoke OK")
 		return
 	}
+	if *clusterSmoke {
+		if err := runClusterSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "detserve: cluster-smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("detserve: cluster-smoke OK")
+		return
+	}
 
-	if err := serve(*addr, *pprofAddr, cfg); err != nil {
+	ccfg := cluster.Config{
+		Self:          *self,
+		Standby:       *standby,
+		VirtualShards: *shards,
+		ShipPath:      *shipPath,
+		Service:       cfg,
+	}
+	if ccfg.Self == "" {
+		ccfg.Self = *addr
+	}
+	for _, p := range strings.Split(*peersF, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			ccfg.Peers = append(ccfg.Peers, p)
+		}
+	}
+
+	if err := serve(*addr, *pprofAddr, ccfg); err != nil {
 		fmt.Fprintln(os.Stderr, "detserve:", err)
 		os.Exit(1)
 	}
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains: the listener
-// closes first, then the service finishes every accepted job.
-func serve(addr, pprofAddr string, cfg service.Config) error {
+// closes first, then the service finishes every accepted job. The service
+// always runs inside a cluster node — with no peers and no standby that is
+// provably the bare engine, and either way the node contributes /healthz,
+// /readyz and the /internal/v1 peer protocol to the same listener.
+func serve(addr, pprofAddr string, ccfg cluster.Config) error {
 	// Open, not New: a front end asked for durability must refuse to start
 	// without it rather than silently running degraded.
-	svc, err := service.Open(cfg)
+	node, err := cluster.Open(ccfg)
 	if err != nil {
-		return fmt.Errorf("journal: %w", err)
+		return fmt.Errorf("cluster: %w", err)
 	}
-	srv := &http.Server{Addr: addr, Handler: newHandler(svc)}
+	svc := node.Service()
+	cfg := ccfg.Service
+	srv := &http.Server{Addr: addr, Handler: mountNode(newHandler(svc), node)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -165,10 +218,19 @@ func serve(addr, pprofAddr string, cfg service.Config) error {
 	if snap.JournalEnabled {
 		fmt.Printf("detserve: journal %s (%d jobs recovered)\n", cfg.JournalPath, snap.RecoveredJobs)
 	}
+	if peers := node.Peers(); len(peers) > 0 {
+		fmt.Printf("detserve: cluster of %d peers as %s\n", len(peers), ccfg.Self)
+	}
+	if ccfg.Standby != "" {
+		fmt.Printf("detserve: shipping journal to %s\n", ccfg.Standby)
+	}
+	if ccfg.ShipPath != "" {
+		fmt.Printf("detserve: standby store at %s\n", ccfg.ShipPath)
+	}
 
 	select {
 	case err := <-errCh:
-		svc.Close(context.Background())
+		node.Close(context.Background())
 		return err
 	case <-ctx.Done():
 	}
@@ -179,7 +241,18 @@ func serve(addr, pprofAddr string, cfg service.Config) error {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	return svc.Close(shutCtx)
+	return node.Close(shutCtx)
+}
+
+// mountNode layers the cluster node's endpoints (/healthz, /readyz,
+// /internal/v1/*) over the public job API on one mux.
+func mountNode(api http.Handler, node *cluster.Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", node.Handler())
+	mux.Handle("/readyz", node.Handler())
+	mux.Handle("/internal/v1/", node.Handler())
+	mux.Handle("/", api)
+	return mux
 }
 
 // pprofHandler builds the standard pprof surface on an isolated mux (the

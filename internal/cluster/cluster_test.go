@@ -1,0 +1,432 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/splash"
+)
+
+// srcOf renders one splash workload to textual IR.
+func srcOf(t testing.TB, name string) string {
+	t.Helper()
+	b, err := splash.New(name, 4)
+	if err != nil {
+		t.Fatalf("splash.New(%s): %v", name, err)
+	}
+	return b.Module.String()
+}
+
+// coreOf projects a result onto its deterministic core (mirrors the service
+// package's test helper — serving metadata legitimately varies).
+func coreOf(r *service.Result) string {
+	return fmt.Sprintf("%s/%d/%d/%d/%d/%d",
+		r.ScheduleHash, r.ScheduleLen, r.Cycles, r.WaitCycles, r.Acquisitions, r.ClockUpdates)
+}
+
+// tnode opens a node on net with background loops disabled — tests drive
+// ProbeOnce / StealOnce / ShipFlush directly so every schedule is
+// deterministic.
+func tnode(t *testing.T, net *LoopNet, self string, peers []string, mut func(*Config)) *Node {
+	t.Helper()
+	cfg := Config{
+		Self:          self,
+		Peers:         peers,
+		Client:        net.Client(self),
+		ProbeInterval: -1,
+		StealInterval: -1,
+		ShipInterval:  -1,
+		ProbeTimeout:  time.Second,
+		FillTimeout:   time.Second,
+		FailThreshold: 2,
+		Service:       service.Config{Workers: 2},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	n, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("cluster.Open(%s): %v", self, err)
+	}
+	net.Register(self, n.Handler())
+	return n
+}
+
+// waitResult waits for id on svc with a bounded deadline.
+func waitResult(t *testing.T, svc *service.Service, id string) *service.Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	res, err := svc.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait %s: %v", id, err)
+	}
+	return res
+}
+
+func TestRingStableBalancedMinimalRemap(t *testing.T) {
+	nodes := []string{"node-a", "node-b", "node-c"}
+	r1 := newRing(nodes, 64)
+	r2 := newRing([]string{"node-c", "node-a", "node-b"}, 64) // order-independent
+
+	counts := map[string]int{}
+	owners := map[string]string{}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o := r1.owner(key)
+		if o2 := r2.owner(key); o2 != o {
+			t.Fatalf("key %s: owner %s vs %s across identical member sets", key, o, o2)
+		}
+		owners[key] = o
+		counts[o]++
+	}
+	for _, n := range nodes {
+		if counts[n] < 2000/3/3 {
+			t.Fatalf("node %s owns only %d/2000 keys — ring badly imbalanced: %v", n, counts[n], counts)
+		}
+	}
+	// Removing one node must remap only the keys it owned.
+	shrunk := newRing([]string{"node-a", "node-b"}, 64)
+	for key, o := range owners {
+		no := shrunk.owner(key)
+		if o != "node-c" && no != o {
+			t.Fatalf("key %s moved %s -> %s though its owner never left", key, o, no)
+		}
+		if o == "node-c" && no == "node-c" {
+			t.Fatalf("key %s still owned by removed node", key)
+		}
+	}
+	if got := r1.nodes(); len(got) != 3 {
+		t.Fatalf("ring members = %v", got)
+	}
+}
+
+func TestMembershipFailureThreshold(t *testing.T) {
+	net := NewLoopNet()
+	peers := []string{"node-a", "node-b"}
+	a := tnode(t, net, "node-a", peers, nil)
+	b := tnode(t, net, "node-b", peers, nil)
+	defer a.Close(context.Background())
+	defer b.Close(context.Background())
+
+	ctx := context.Background()
+	a.ProbeOnce(ctx)
+	if st := a.Peers()["node-b"]; !st.Alive || st.Probes != 1 {
+		t.Fatalf("after 1 probe: %+v, want alive", st)
+	}
+
+	// Down detection is exactly FailThreshold consecutive failures: one
+	// failed probe keeps the peer up, the second (threshold=2) marks it down.
+	net.Deregister("node-b")
+	a.ProbeOnce(ctx)
+	if st := a.Peers()["node-b"]; !st.Alive || st.Failures != 1 {
+		t.Fatalf("after 1 failure: %+v, want still alive", st)
+	}
+	a.ProbeOnce(ctx)
+	if st := a.Peers()["node-b"]; st.Alive {
+		t.Fatalf("after %d failures: %+v, want down", 2, st)
+	}
+
+	// A single success resurrects.
+	net.Register("node-b", b.Handler())
+	a.ProbeOnce(ctx)
+	if st := a.Peers()["node-b"]; !st.Alive || st.Failures != 0 {
+		t.Fatalf("after recovery probe: %+v, want alive", st)
+	}
+}
+
+// keyOwnedBy finds a request variant whose result key is (or is not) owned
+// by the given node, so fill/offer tests can pin the topology they exercise.
+func keyOwnedBy(t *testing.T, n *Node, src string, want bool) (service.Request, string) {
+	t.Helper()
+	for seed := int64(0); seed < 64; seed++ {
+		req := service.Request{Source: src, PerturbSeed: seed}
+		key, err := n.Service().KeyFor(req)
+		if err != nil {
+			t.Fatalf("KeyFor: %v", err)
+		}
+		if (n.Owner(key) == n.cfg.Self) == want {
+			return req, key
+		}
+	}
+	t.Fatalf("no variant found with ownership=%v in 64 seeds", want)
+	return service.Request{}, ""
+}
+
+func TestPeerFillHitFallbackAndOffer(t *testing.T) {
+	net := NewLoopNet()
+	peers := []string{"node-a", "node-b", "node-c"}
+	a := tnode(t, net, "node-a", peers, nil)
+	b := tnode(t, net, "node-b", peers, nil)
+	c := tnode(t, net, "node-c", peers, nil)
+	nodes := map[string]*Node{"node-a": a, "node-b": b, "node-c": c}
+	defer a.Close(context.Background())
+	defer b.Close(context.Background())
+	defer c.Close(context.Background())
+	src := srcOf(t, "ocean")
+	ctx := context.Background()
+
+	// --- Fill hit: owner computes, non-owner fills from it. ---
+	req, key := keyOwnedBy(t, a, src, false) // some peer of a owns this key
+	owner := nodes[a.Owner(key)]
+	ownerRes := waitResult(t, owner.Service(), mustSubmit(t, owner, req))
+	fillRes := waitResult(t, a.Service(), mustSubmit(t, a, req))
+	if !fillRes.PeerFilled {
+		t.Fatalf("non-owner result not peer-filled: %+v", fillRes)
+	}
+	if coreOf(fillRes) != coreOf(ownerRes) {
+		t.Fatalf("peer-filled core %s, want %s", coreOf(fillRes), coreOf(ownerRes))
+	}
+	if st := a.Stats(); st.FillHits != 1 || st.FillAttempts != 1 {
+		t.Fatalf("fill stats = %+v, want one attempt, one hit", st)
+	}
+	if st := owner.Stats(); st.FillsServed != 1 {
+		t.Fatalf("owner served %d fills, want 1", st.FillsServed)
+	}
+
+	// --- Partition fallback: the owner is unreachable; the job computes
+	// locally with zero client-visible error. ---
+	req2, key2 := keyOwnedBy(t, b, src, false)
+	owner2 := b.Owner(key2)
+	net.Partition("node-b", owner2)
+	partRes := waitResult(t, b.Service(), mustSubmit(t, b, req2))
+	if partRes.PeerFilled {
+		t.Fatal("fill reported through a partition")
+	}
+	want := waitResult(t, nodes[owner2].Service(), mustSubmit(t, nodes[owner2], req2))
+	if coreOf(partRes) != coreOf(want) {
+		t.Fatalf("partitioned local core %s, want %s", coreOf(partRes), coreOf(want))
+	}
+	net.Heal("node-b", owner2)
+
+	// --- Probe-informed skip: once the owner is known-down, fills skip the
+	// network entirely. ---
+	req3, key3 := keyOwnedBy(t, c, src, false)
+	owner3 := c.Owner(key3)
+	net.Deregister(owner3)
+	c.ProbeOnce(ctx)
+	c.ProbeOnce(ctx) // FailThreshold=2
+	before := c.Stats().FillAttempts
+	skipRes := waitResult(t, c.Service(), mustSubmit(t, c, req3))
+	if skipRes.PeerFilled {
+		t.Fatal("fill reported from a down owner")
+	}
+	st := c.Stats()
+	if st.FillAttempts != before || st.FillSkips == 0 {
+		t.Fatalf("down-owner fill stats = %+v, want skip without attempt", st)
+	}
+	net.Register(owner3, nodes[owner3].Handler())
+	c.ProbeOnce(ctx)
+
+	// --- Offer backfill: a non-owner that computed locally pushes the entry
+	// to the owner, whose next lookup is a cache hit. ---
+	// req2's owner never computed req2 — but node-b offered it the result
+	// during the partition (failed) and recomputation is what we just did.
+	// Submit a fresh variant instead to watch the full offer path.
+	req4, key4 := keyOwnedBy(t, a, srcOf(t, "water-nsq"), false)
+	owner4 := nodes[a.Owner(key4)]
+	if _, ok := owner4.Service().ResultByKey(key4); ok {
+		t.Fatalf("owner already has %s", key4)
+	}
+	localRes := waitResult(t, a.Service(), mustSubmit(t, a, req4))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := owner4.Service().ResultByKey(key4); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("offer for %s never landed on owner", key4)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ownerHit := waitResult(t, owner4.Service(), mustSubmit(t, owner4, req4))
+	if !ownerHit.Cached {
+		t.Fatal("owner lookup after offer was not a cache hit")
+	}
+	if coreOf(ownerHit) != coreOf(localRes) {
+		t.Fatalf("offered core %s, want %s", coreOf(ownerHit), coreOf(localRes))
+	}
+}
+
+func mustSubmit(t *testing.T, n *Node, req service.Request) string {
+	t.Helper()
+	id, err := n.Service().Submit(req)
+	if err != nil {
+		t.Fatalf("Submit on %s: %v", n.cfg.Self, err)
+	}
+	return id
+}
+
+func TestWorkStealingDrains(t *testing.T) {
+	net := NewLoopNet()
+	peers := []string{"node-a", "node-b"}
+	victim := tnode(t, net, "node-a", peers, func(c *Config) {
+		c.Service.Workers = 1
+		c.Service.StealReclaim = 30 * time.Second // completions, not reclaims
+		c.StealBatch = 4
+	})
+	thief := tnode(t, net, "node-b", peers, func(c *Config) {
+		c.StealBatch = 4
+	})
+	defer victim.Close(context.Background())
+	defer thief.Close(context.Background())
+	src := srcOf(t, "volrend")
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 10; i++ {
+		ids = append(ids, mustSubmit(t, victim, service.Request{Source: src, PerturbSeed: int64(i)}))
+	}
+	thief.ProbeOnce(ctx) // learn the victim's queue depth
+	n := thief.StealOnce(ctx)
+	if n == 0 {
+		t.Skip("victim drained its queue before the steal round")
+	}
+	for i, id := range ids {
+		res := waitResult(t, victim.Service(), id)
+		w, err := thief.Service().ExecuteDetached(ctx, service.Request{Source: src, PerturbSeed: int64(i)})
+		if err != nil {
+			t.Fatalf("reference execution: %v", err)
+		}
+		if coreOf(res) != coreOf(w) {
+			t.Fatalf("job %s core %s, want %s", id, coreOf(res), coreOf(w))
+		}
+	}
+	st := thief.Stats()
+	if st.StealsDone != int64(n) || st.CompletesSent == 0 {
+		t.Fatalf("thief stats = %+v after stealing %d", st, n)
+	}
+	if snap := victim.Service().Snapshot(); snap.JobsStolen != int64(n) {
+		t.Fatalf("victim counted %d stolen, thief took %d", snap.JobsStolen, n)
+	}
+	remotes := 0
+	for _, id := range ids {
+		if v, err := victim.Service().Lookup(id); err == nil && v.Result != nil && v.Result.Remote {
+			remotes++
+		}
+	}
+	if remotes == 0 {
+		t.Fatal("no job completed remotely despite successful steals")
+	}
+}
+
+func TestJournalShippingAndTakeover(t *testing.T) {
+	net := NewLoopNet()
+	dir := t.TempDir()
+	shipPath := filepath.Join(dir, "shipped.journal")
+	standby := tnode(t, net, "standby", nil, func(c *Config) {
+		c.ShipPath = shipPath
+	})
+	primary := tnode(t, net, "primary", nil, func(c *Config) {
+		c.Standby = "standby"
+		c.Service.JournalPath = filepath.Join(dir, "primary.journal")
+	})
+	src := srcOf(t, "ocean")
+	ctx := context.Background()
+
+	// Finished work ships (first flush opens the epoch with a snapshot).
+	cores := map[string]string{}
+	for i := 0; i < 3; i++ {
+		id := mustSubmit(t, primary, service.Request{Source: src, PerturbSeed: int64(i)})
+		cores[id] = coreOf(waitResult(t, primary.Service(), id))
+	}
+	if sent, err := primary.ShipFlush(ctx); err != nil || sent == 0 {
+		t.Fatalf("first flush: sent %d, err %v", sent, err)
+	}
+
+	// Standby restart: the fresh store knows no epoch, the next incremental
+	// batch gaps (409), and the shipper self-heals with a snapshot resync.
+	id := mustSubmit(t, primary, service.Request{Source: src, PerturbSeed: 50})
+	cores[id] = coreOf(waitResult(t, primary.Service(), id))
+	if err := standby.Close(ctx); err != nil {
+		t.Fatalf("standby close: %v", err)
+	}
+	standby = tnode(t, net, "standby", nil, func(c *Config) {
+		c.ShipPath = shipPath
+	})
+	if _, err := primary.ShipFlush(ctx); err == nil {
+		t.Fatal("flush into a restarted standby did not gap")
+	}
+	if sent, err := primary.ShipFlush(ctx); err != nil || sent == 0 {
+		t.Fatalf("resync flush: sent %d, err %v", sent, err)
+	}
+	if st := primary.Stats(); st.ShipFails == 0 || st.ShipBatches < 2 {
+		t.Fatalf("ship stats = %+v, want a failure and ≥2 batches", st)
+	}
+
+	// In-flight work at crash time: submitted records shipped, finishes
+	// possibly not — takeover must re-execute, not lose.
+	var tail []string
+	for i := 0; i < 3; i++ {
+		tail = append(tail, mustSubmit(t, primary, service.Request{Source: src, PerturbSeed: int64(100 + i)}))
+	}
+	if _, err := primary.ShipFlush(ctx); err != nil {
+		t.Fatalf("tail flush: %v", err)
+	}
+	for _, id := range tail {
+		cores[id] = coreOf(waitResult(t, primary.Service(), id))
+	}
+	primary.Kill()
+	net.Deregister("primary")
+	if err := standby.Close(ctx); err != nil {
+		t.Fatalf("standby close before takeover: %v", err)
+	}
+
+	// Warm takeover: open the engine on the shipped journal.
+	svc, err := Takeover(shipPath, service.Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("Takeover: %v", err)
+	}
+	defer svc.Close(context.Background())
+	for id, want := range cores {
+		res := waitResult(t, svc, id)
+		if coreOf(res) != want {
+			t.Fatalf("takeover job %s core %s, want %s", id, coreOf(res), want)
+		}
+	}
+	if snap := svc.Snapshot(); snap.Divergences != 0 {
+		t.Fatalf("takeover recovery found %d divergences", snap.Divergences)
+	}
+}
+
+// TestSingleNodeIdentity: a node with no peers and no standby is the bare
+// service — identical results, no cluster traffic, no peer-path counters.
+func TestSingleNodeIdentity(t *testing.T) {
+	src := srcOf(t, "raytrace")
+	bare := service.New(service.Config{Workers: 2})
+	defer bare.Close(context.Background())
+	node, err := Open(Config{Self: "solo", Service: service.Config{Workers: 2}})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer node.Close(context.Background())
+
+	for i := 0; i < 4; i++ {
+		req := service.Request{Source: src, PerturbSeed: int64(i)}
+		a, err := bare.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("bare Do: %v", err)
+		}
+		b, err := node.Service().Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("node Do: %v", err)
+		}
+		if coreOf(a) != coreOf(b) {
+			t.Fatalf("variant %d: bare core %s, node core %s", i, coreOf(a), coreOf(b))
+		}
+		if b.PeerFilled || b.Remote {
+			t.Fatalf("single-node result carries cluster markers: %+v", b)
+		}
+	}
+	if st := node.Stats(); st != (Stats{}) {
+		t.Fatalf("single-node cluster stats nonzero: %+v", st)
+	}
+	snap := node.Service().Snapshot()
+	if snap.PeerFills != 0 || snap.PeerOffers != 0 || snap.JobsStolen != 0 {
+		t.Fatalf("single-node service snapshot has peer activity: %+v", snap)
+	}
+}

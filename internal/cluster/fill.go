@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// Peer cache fill: on a local result-cache miss the service asks the node
+// (via the Fill hook) whether the shard owner already has the answer. The
+// whole exchange is an optimisation riding on weak determinism — every
+// failure along the way (owner down, partition, miss, timeout, garbage
+// bytes) returns nil, which the service reads as "compute it locally".
+// A peer fill can therefore slow a request down; it can never fail one.
+//
+// Latency discipline: one deadline (Config.FillTimeout) bounds the exchange
+// end to end, and a single hedged retry fires if the first attempt has not
+// answered within Config.HedgeAfter — the standard tail-latency hedge, but
+// capped at exactly one extra request so a struggling owner sees at most 2×
+// load, not a retry storm. The winning response is whichever arrives first;
+// the loser's context is cancelled.
+
+// fill is the service.Config.Fill hook.
+func (n *Node) fill(ctx context.Context, key string, req *service.Request) *service.Result {
+	owner := n.ring.owner(key)
+	if owner == n.cfg.Self || owner == "" {
+		return nil // we are the owner: the miss is authoritative
+	}
+	if !n.members.alive(owner) {
+		n.ctr.fillSkips.Add(1)
+		return nil // degradation: down owner means local recomputation
+	}
+	n.ctr.fillAttempts.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FillTimeout)
+	defer cancel()
+	res := n.fetchHedged(ctx, owner, key)
+	if res == nil {
+		n.ctr.fillMisses.Add(1)
+		return nil
+	}
+	n.ctr.fillHits.Add(1)
+	return res
+}
+
+// fetchHedged races the primary fetch against a delayed hedge.
+func (n *Node) fetchHedged(ctx context.Context, owner, key string) *service.Result {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the first result cancels the straggler
+	results := make(chan *service.Result, 2)
+	launch := func() {
+		res, err := n.fetchResult(ctx, owner, key)
+		if err != nil {
+			res = nil
+		}
+		results <- res
+	}
+	go launch()
+	hedge := newTimer(n.cfg.HedgeAfter)
+	defer hedge.Stop()
+	pending := 1
+	for pending > 0 {
+		select {
+		case res := <-results:
+			pending--
+			if res != nil {
+				return res
+			}
+		case <-hedge.C:
+			n.ctr.fillHedges.Add(1)
+			pending++
+			go launch()
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	return nil
+}
+
+// fetchResult issues one GET /internal/v1/result to owner.
+func (n *Node) fetchResult(ctx context.Context, owner, key string) (*service.Result, error) {
+	url := "http://" + owner + "/internal/v1/result?key=" + key
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil // clean miss
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fill %s: status %d", owner, resp.StatusCode)
+	}
+	var res service.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("fill %s: %w", owner, err)
+	}
+	return &res, nil
+}
+
+// offer is the service.Config.Offer hook: after computing a result this node
+// does not own, push it to the shard owner so the next miss anywhere in the
+// cluster fills from cache. Fire-and-forget on a bounded deadline — a failed
+// offer costs the cluster one future recomputation, nothing else.
+func (n *Node) offer(key string, res *service.Result) {
+	owner := n.ring.owner(key)
+	if owner == n.cfg.Self || owner == "" || !n.members.alive(owner) {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.FillTimeout)
+		defer cancel()
+		body, err := json.Marshal(res)
+		if err != nil {
+			return
+		}
+		url := "http://" + owner + "/internal/v1/offer?key=" + key
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.cfg.Client.Do(req)
+		if err != nil {
+			n.ctr.offerFails.Add(1)
+			return
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusNoContent, http.StatusOK:
+			n.ctr.offersSent.Add(1)
+		case http.StatusConflict:
+			// The owner's cached entry disagrees with ours: a determinism
+			// divergence, counted on both sides and policed by the owner's
+			// breaker.
+			n.ctr.offerDivergences.Add(1)
+		default:
+			n.ctr.offerFails.Add(1)
+		}
+	}()
+}

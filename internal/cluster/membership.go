@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// membership tracks the liveness of a static peer list by periodic health
+// probes. Failure detection is deterministic by construction: a peer is
+// marked down after exactly FailThreshold consecutive probe failures and up
+// again after a single success — no randomised timers, no gossip, no
+// phi-accrual estimation. With a fixed probe schedule and a fixed fault
+// schedule, every node makes the same liveness decisions at the same probe
+// counts, which is what lets the chaos property test assert cluster-wide
+// behaviour rather than race against an adaptive detector.
+type membership struct {
+	self      string
+	client    Doer
+	timeout   time.Duration
+	threshold int
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+}
+
+// peerState is one peer's probe bookkeeping.
+type peerState struct {
+	alive    bool
+	failures int   // consecutive probe failures
+	depth    int   // last reported queue depth (work-stealing signal)
+	probes   int64 // total probes sent
+}
+
+// healthReport is the /healthz body peers exchange.
+type healthReport struct {
+	Status     string `json:"status"`
+	Node       string `json:"node"`
+	QueueDepth int    `json:"queue_depth"`
+	Ready      bool   `json:"ready"`
+}
+
+func newMembership(self string, peers []string, client Doer, timeout time.Duration, threshold int) *membership {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	m := &membership{
+		self:      self,
+		client:    client,
+		timeout:   timeout,
+		threshold: threshold,
+		peers:     make(map[string]*peerState),
+	}
+	for _, p := range peers {
+		if p == self {
+			continue
+		}
+		// Peers start alive: a fresh node must not refuse to fill from a
+		// healthy cluster just because it has not completed a probe round yet.
+		m.peers[p] = &peerState{alive: true}
+	}
+	return m
+}
+
+// alive reports whether addr is currently believed up. The local node is
+// always alive to itself; unknown addresses are dead.
+func (m *membership) alive(addr string) bool {
+	if addr == m.self {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[addr]
+	return ok && p.alive
+}
+
+// depth returns addr's last reported queue depth (0 for unknown/down peers).
+func (m *membership) depth(addr string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[addr]; ok && p.alive {
+		return p.depth
+	}
+	return 0
+}
+
+// peerList returns the tracked peer addresses, for iteration.
+func (m *membership) peerList() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for p := range m.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// probeOnce probes every peer once, applying the threshold transition rules.
+// It is the loop body of the background prober and the direct entry point
+// deterministic tests drive.
+func (m *membership) probeOnce(ctx context.Context) {
+	for _, addr := range m.peerList() {
+		rep, err := m.probe(ctx, addr)
+		m.mu.Lock()
+		p, ok := m.peers[addr]
+		if !ok {
+			m.mu.Unlock()
+			continue
+		}
+		p.probes++
+		if err != nil {
+			p.failures++
+			if p.failures >= m.threshold {
+				p.alive = false
+			}
+		} else {
+			p.failures = 0
+			p.alive = true
+			p.depth = rep.QueueDepth
+		}
+		m.mu.Unlock()
+	}
+}
+
+// probe issues one /healthz request to addr.
+func (m *membership) probe(ctx context.Context, addr string) (*healthReport, error) {
+	ctx, cancel := context.WithTimeout(ctx, m.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz %s: status %d", addr, resp.StatusCode)
+	}
+	var rep healthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("healthz %s: %w", addr, err)
+	}
+	return &rep, nil
+}
+
+// snapshot renders per-peer liveness for stats and the smoke harness.
+func (m *membership) snapshot() map[string]PeerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]PeerStatus, len(m.peers))
+	for addr, p := range m.peers {
+		out[addr] = PeerStatus{Alive: p.alive, Failures: p.failures, QueueDepth: p.depth, Probes: p.probes}
+	}
+	return out
+}
+
+// PeerStatus is one peer's externally visible liveness state.
+type PeerStatus struct {
+	Alive      bool  `json:"alive"`
+	Failures   int   `json:"failures"`
+	QueueDepth int   `json:"queue_depth"`
+	Probes     int64 `json:"probes"`
+}

@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/service"
+)
+
+// Config wires one cluster node.
+type Config struct {
+	// Self is this node's advertised address (the name peers reach it by).
+	Self string
+	// Peers is the static member list, Self included or not — Self is
+	// filtered out. An empty list (after filtering) is single-node mode: no
+	// hooks are installed and the node is bitwise-identical to the bare
+	// service.
+	Peers []string
+	// Standby, when non-empty, is the address journal records are shipped to
+	// for warm takeover.
+	Standby string
+	// Service is the inner engine's configuration. Its Fill, Offer and
+	// ShipRecord hooks must be nil; the node owns them.
+	Service service.Config
+	// Client is the transport to peers; nil means a default *http.Client.
+	Client Doer
+
+	// VirtualShards is the virtual points per node on the hash ring
+	// (default 64).
+	VirtualShards int
+	// ProbeInterval is the health-probe period (default 500ms); <0 disables
+	// the background prober (tests drive ProbeOnce directly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default 250ms).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive probe failures that mark a peer down
+	// (default 3).
+	FailThreshold int
+
+	// FillTimeout bounds one peer cache fill end to end (default 300ms).
+	FillTimeout time.Duration
+	// HedgeAfter fires the single hedged retry if the first fill attempt has
+	// not answered by then (default FillTimeout/3).
+	HedgeAfter time.Duration
+
+	// StealInterval is the idle work-stealing poll period (default 250ms);
+	// <0 disables the background stealer (tests drive StealOnce directly).
+	StealInterval time.Duration
+	// StealBatch is the maximum jobs borrowed per steal (default 2).
+	StealBatch int
+
+	// ShipInterval is the journal-shipping flush period (default 100ms);
+	// <0 disables the background flusher (tests drive ShipFlush directly).
+	ShipInterval time.Duration
+	// ShipPath, when non-empty, makes this node a standby target: shipped
+	// records are persisted there, ready for Takeover.
+	ShipPath string
+}
+
+func (c *Config) withDefaults() {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.VirtualShards <= 0 {
+		c.VirtualShards = 64
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 250 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.FillTimeout <= 0 {
+		c.FillTimeout = 300 * time.Millisecond
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = c.FillTimeout / 3
+	}
+	if c.StealInterval == 0 {
+		c.StealInterval = 250 * time.Millisecond
+	}
+	if c.StealBatch <= 0 {
+		c.StealBatch = 2
+	}
+	if c.ShipInterval == 0 {
+		c.ShipInterval = 100 * time.Millisecond
+	}
+}
+
+// Node is one member of a detserve shard group: the transport-facing wrapper
+// around a service.Service. All cluster behaviour lives here; the inner
+// service stays transport-agnostic and reaches the cluster only through the
+// three Config hooks the node installs (fill, offer, ship).
+type Node struct {
+	cfg     Config
+	svc     *service.Service
+	ring    *ring
+	members *membership
+	shipper *shipper
+	standby *standbyStore
+	mux     *http.ServeMux
+	ctr     counters
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Open builds and starts a node. With no peers and no standby the inner
+// service is opened with untouched hooks — single-node mode really is the
+// bare service.
+func Open(cfg Config) (*Node, error) {
+	cfg.withDefaults()
+	n := &Node{cfg: cfg, stop: make(chan struct{})}
+
+	var members []string
+	seen := map[string]bool{cfg.Self: true}
+	for _, p := range cfg.Peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		members = append(members, p)
+	}
+	clustered := len(members) > 0
+	if clustered {
+		all := append([]string{cfg.Self}, members...)
+		n.ring = newRing(all, cfg.VirtualShards)
+		n.members = newMembership(cfg.Self, members, cfg.Client, cfg.ProbeTimeout, cfg.FailThreshold)
+		cfg.Service.Fill = n.fill
+		cfg.Service.Offer = n.offer
+	}
+	if cfg.Standby != "" {
+		n.shipper = newShipper(cfg.Self, cfg.Standby, cfg.Client)
+		cfg.Service.ShipRecord = n.shipper.record
+	}
+	if cfg.ShipPath != "" {
+		st, err := openStandbyStore(cfg.ShipPath)
+		if err != nil {
+			return nil, err
+		}
+		n.standby = st
+	}
+
+	svc, err := service.Open(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	n.svc = svc
+	n.buildMux()
+
+	if clustered && cfg.ProbeInterval > 0 {
+		n.loop(cfg.ProbeInterval, func(ctx context.Context) { n.members.probeOnce(ctx) })
+	}
+	if clustered && cfg.StealInterval > 0 {
+		n.loop(cfg.StealInterval, func(ctx context.Context) { n.StealOnce(ctx) })
+	}
+	if n.shipper != nil && cfg.ShipInterval > 0 {
+		n.loop(cfg.ShipInterval, func(ctx context.Context) { n.ShipFlush(ctx) })
+	}
+	return n, nil
+}
+
+// loop runs fn every interval until the node stops.
+func (n *Node) loop(interval time.Duration, fn func(ctx context.Context)) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				fn(context.Background())
+			}
+		}
+	}()
+}
+
+// Service exposes the inner engine (submissions go straight to it — the node
+// adds no layer on the client path).
+func (n *Node) Service() *service.Service { return n.svc }
+
+// Handler returns the node's full HTTP surface: health and readiness probes
+// plus the /internal/v1 peer protocol. The caller mounts it (and any public
+// job API) on whatever listener it owns.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// ProbeOnce runs one health-probe round synchronously (test entry point).
+func (n *Node) ProbeOnce(ctx context.Context) {
+	if n.members != nil {
+		n.members.probeOnce(ctx)
+	}
+}
+
+// Peers reports per-peer liveness state.
+func (n *Node) Peers() map[string]PeerStatus {
+	if n.members == nil {
+		return nil
+	}
+	return n.members.snapshot()
+}
+
+// Owner reports which member owns key — exported for smoke tooling.
+func (n *Node) Owner(key string) string {
+	if n.ring == nil {
+		return n.cfg.Self
+	}
+	return n.ring.owner(key)
+}
+
+// Close drains the background loops, flushes any unshipped journal records,
+// and closes the inner service.
+func (n *Node) Close(ctx context.Context) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.stop)
+	n.wg.Wait()
+	err := n.svc.Close(ctx)
+	if n.shipper != nil {
+		n.ShipFlush(ctx) // last records (final finishes) ship after drain
+	}
+	if n.standby != nil {
+		if cerr := n.standby.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Kill simulates a crash: background loops stop, nothing flushes, the inner
+// service dies mid-flight. The chaos harness's node-kill injection.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.stop)
+	n.svc.Kill()
+	n.wg.Wait()
+	if n.standby != nil {
+		n.standby.close()
+	}
+}
+
+// buildMux assembles the HTTP surface.
+func (n *Node) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", n.handleHealthz)
+	mux.HandleFunc("/readyz", n.handleReadyz)
+	mux.HandleFunc("/internal/v1/result", n.handleResult)
+	mux.HandleFunc("/internal/v1/offer", n.handleOffer)
+	mux.HandleFunc("/internal/v1/steal", n.handleSteal)
+	mux.HandleFunc("/internal/v1/complete", n.handleComplete)
+	mux.HandleFunc("/internal/v1/ship", n.handleShip)
+	n.mux = mux
+}
+
+// handleHealthz is liveness: 200 whenever the process can answer, with the
+// queue depth peers key work-stealing on. It stays 200 while unready —
+// liveness and readiness are deliberately different questions.
+func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := healthReport{
+		Status:     "ok",
+		Node:       n.cfg.Self,
+		QueueDepth: n.svc.QueueDepth(),
+		Ready:      n.svc.Ready() == nil,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+// handleReadyz is readiness: 200 only when the inner service can do real
+// work (journal writable, breaker not open, not draining). Unreadiness is
+// 503 with the failing gate named, so load balancers drain the node while
+// operators read why.
+func (n *Node) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := n.svc.Ready(); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		if ra := service.RetryAfter(err); ra > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+}
+
+// handleResult serves a peer's cache-fill request: the cached result (with
+// schedule) for ?key=, or 404.
+func (n *Node) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	res, ok := n.svc.ResultByKey(key)
+	if !ok {
+		http.Error(w, "miss", http.StatusNotFound)
+		return
+	}
+	n.ctr.fillsServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// handleOffer installs a peer-computed result into the local cache. A
+// divergence (offer conflicting with a cached entry) is 409 — the offering
+// peer logs it; both sides count it.
+func (n *Node) handleOffer(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	var res service.Result
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		http.Error(w, "bad offer body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := n.svc.OfferResult(key, &res); err != nil {
+		if errors.Is(err, diag.ErrDivergence) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSteal lends up to ?max= queued jobs to the calling peer.
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	max := n.cfg.StealBatch
+	if v := r.URL.Query().Get("max"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			max = parsed
+		}
+	}
+	jobs := n.svc.StealQueued(max)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(jobs)
+}
+
+// completeMsg is the body of /internal/v1/complete: a stolen job's outcome.
+// A nil Result is an abort — the stealer could not execute the job and hands
+// it back.
+type completeMsg struct {
+	ID     string          `json:"id"`
+	Result *service.Result `json:"result"`
+}
+
+// handleComplete installs a stolen job's remotely computed result (or abort).
+func (n *Node) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var msg completeMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil || msg.ID == "" {
+		http.Error(w, "bad completion body", http.StatusBadRequest)
+		return
+	}
+	n.svc.CompleteStolen(msg.ID, msg.Result)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleShip receives a journal-shipping batch (standby side).
+func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
+	if n.standby == nil {
+		http.Error(w, "not a standby", http.StatusNotFound)
+		return
+	}
+	var batch shipBatch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		http.Error(w, "bad ship body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := n.standby.apply(&batch); err != nil {
+		if errors.Is(err, errShipGap) {
+			// The stream has a hole (standby restarted, batch lost to a
+			// partition). 409 tells the shipper to resync with a snapshot.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

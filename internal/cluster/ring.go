@@ -1,0 +1,114 @@
+// Package cluster turns the single-process deterministic-execution service
+// into a fault-tolerant shard group. The design leans on the repo's central
+// property — weak determinism — as its coherence protocol: any node can
+// recompute any job and obtain the byte-identical result, so replication
+// needs no consensus, peer caches are a latency optimisation rather than a
+// correctness dependency, and every remote failure mode (peer down, cache
+// miss, partition, lying peer) degrades to "compute it locally", never to a
+// client-visible error or a wrong answer.
+//
+// The pieces:
+//
+//   - ring:       consistent-hash shard ownership of content-addressed
+//     result keys, with virtual nodes for balance.
+//   - membership: a static peer list with periodic health probes and a
+//     deterministic consecutive-failure threshold.
+//   - Node:       the transport wrapper around service.Service — HTTP
+//     handlers, peer cache fill (deadline + one hedged retry), result
+//     offers, work stealing, journal shipping.
+//   - shipper/standby: the logical journal append stream, shipped to a
+//     standby for warm takeover via the existing recovery-by-re-execution.
+//   - LoopNet:    an in-memory partitionable transport for deterministic
+//     cluster chaos tests.
+//
+// A Node with no peers installs no hooks at all: single-process mode is
+// literally a one-node cluster, bitwise-identical to the bare service.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// ring is a consistent-hash ring mapping content-addressed result keys to
+// owning nodes. Each node projects vnodes points onto the ring (hash of
+// "name#i"); a key is owned by the first point clockwise from the key's own
+// hash. Ownership is a pure function of the member set — every node with the
+// same peer list computes the same owner for every key, with no coordination.
+type ring struct {
+	points []ringPoint // sorted by hash
+	vnodes int
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// newRing builds a ring over nodes with vnodes virtual points per node.
+func newRing(nodes []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &ring{vnodes: vnodes}
+	for _, n := range nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(n, i), node: n})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node // total order even on collision
+	})
+	return r
+}
+
+// ringHash hashes one virtual point. sha256 rather than a fast hash: point
+// placement happens once per membership change, and the cryptographic mix
+// keeps adversarially-close node names from clustering.
+func ringHash(node string, vnode int) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(vnode))
+	h := sha256.New()
+	h.Write([]byte(node))
+	h.Write([]byte{'#'})
+	h.Write(buf[:])
+	var sum [sha256.Size]byte
+	return binary.LittleEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// keyHash positions a result key on the ring.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// owner returns the node owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise
+	}
+	return r.points[i].node
+}
+
+// nodes returns the distinct member names on the ring, sorted.
+func (r *ring) nodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/service"
+)
+
+// Journal shipping: the origin's journal feeds its logical append stream
+// (every record line, in append order) into the shipper, which batches it to
+// a standby over (epoch, seq)-tagged POSTs. The standby persists the lines
+// to its own journal file; warm takeover is then nothing new — open a
+// service on the shipped file and let the existing recovery-by-re-execution
+// finish whatever was in flight. Determinism is what makes this cheap: the
+// stream needs no results to be authoritative (the standby can recompute
+// them), so losing finish records to a crash or partition costs re-execution
+// time, never answers.
+//
+// Stream repair is snapshot resync: any hole the standby detects (epoch or
+// seq mismatch — standby restart, dropped batch, shipper buffer overflow) is
+// answered with 409, and the shipper's next flush opens a fresh epoch
+// carrying the journal's compaction-style snapshot, which is bounded by the
+// live job table rather than the stream's history. The protocol is therefore
+// self-healing from any interleaving of failures, with bounded memory on
+// both sides.
+
+// shipBatch is one /internal/v1/ship POST body.
+type shipBatch struct {
+	From     string   `json:"from"`
+	Epoch    int64    `json:"epoch"`
+	Seq      int64    `json:"seq"` // sequence number of Lines[0] within Epoch
+	Snapshot bool     `json:"snapshot,omitempty"`
+	Lines    [][]byte `json:"lines"`
+}
+
+// maxShipBuffer bounds the unacked line buffer; past it the shipper drops
+// the buffer and falls back to snapshot resync (which supersedes the lines).
+const maxShipBuffer = 4096
+
+// shipper accumulates journal lines and flushes them to the standby.
+type shipper struct {
+	self    string
+	standby string
+	client  Doer
+
+	// flushMu serializes flushes (ticker, Close); mu guards the buffer and
+	// is held only for memory operations — record() runs under the origin
+	// journal's lock and must never wait on the network.
+	flushMu sync.Mutex
+	mu      sync.Mutex
+	buf     [][]byte
+	epoch   int64
+	seq     int64 // sequence of buf[0]
+	resync  bool  // next flush must open a new epoch with a snapshot
+
+	// snapshot renders the origin journal's live table; set by the node.
+	snapshot func() [][]byte
+}
+
+func newShipper(self, standby string, client Doer) *shipper {
+	return &shipper{self: self, standby: standby, client: client, resync: true}
+}
+
+// record is the service.Config.ShipRecord hook: buffer one line, never block.
+func (sh *shipper) record(line []byte) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.buf) >= maxShipBuffer {
+		// The standby has been unreachable long enough to overflow the
+		// buffer; drop it and let the snapshot carry the state instead.
+		sh.buf, sh.resync = nil, true
+		return
+	}
+	sh.buf = append(sh.buf, line)
+}
+
+// flush sends at most one batch. Returns the batch size on success (0 when
+// idle), an error when the standby was unreachable or rejected the stream.
+func (sh *shipper) flush(ctx context.Context) (int, error) {
+	sh.flushMu.Lock()
+	defer sh.flushMu.Unlock()
+
+	sh.mu.Lock()
+	batch := shipBatch{From: sh.self, Epoch: sh.epoch, Seq: sh.seq, Lines: sh.buf}
+	resync := sh.resync
+	sh.mu.Unlock()
+	if resync {
+		// New epoch: the snapshot supersedes everything previously streamed
+		// AND everything currently buffered (buffered records are already
+		// folded into the live table the snapshot renders).
+		batch = shipBatch{From: sh.self, Epoch: sh.epoch + 1, Seq: 0, Snapshot: true}
+		if sh.snapshot != nil {
+			batch.Lines = sh.snapshot()
+		}
+	} else if len(batch.Lines) == 0 {
+		return 0, nil
+	}
+
+	if err := sh.post(ctx, &batch); err != nil {
+		if errors.Is(err, errShipGap) {
+			sh.mu.Lock()
+			sh.resync = true
+			sh.mu.Unlock()
+		}
+		return 0, err
+	}
+
+	sh.mu.Lock()
+	if resync {
+		sh.epoch = batch.Epoch
+		sh.seq = int64(len(batch.Lines))
+		sh.buf = nil // superseded by the snapshot
+		sh.resync = false
+	} else {
+		// Acked: drop exactly the lines this batch carried; record() may
+		// have appended more behind them meanwhile.
+		sh.buf = sh.buf[len(batch.Lines):]
+		sh.seq += int64(len(batch.Lines))
+	}
+	sh.mu.Unlock()
+	return len(batch.Lines), nil
+}
+
+// post sends one batch; a 409 maps to errShipGap.
+func (sh *shipper) post(ctx context.Context, batch *shipBatch) error {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+sh.standby+"/internal/v1/ship", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sh.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("ship %s: %w", sh.standby, errShipGap)
+	default:
+		return fmt.Errorf("ship %s: status %d", sh.standby, resp.StatusCode)
+	}
+}
+
+// ShipFlush pushes one pending journal batch to the standby (loop body of
+// the background flusher; direct entry point for deterministic tests and the
+// final flush in Close).
+func (n *Node) ShipFlush(ctx context.Context) (int, error) {
+	if n.shipper == nil {
+		return 0, nil
+	}
+	if n.shipper.snapshot == nil {
+		n.shipper.snapshot = n.svc.JournalSnapshotRecords
+	}
+	sent, err := n.shipper.flush(ctx)
+	if err != nil {
+		n.ctr.shipFails.Add(1)
+		return 0, err
+	}
+	if sent > 0 {
+		n.ctr.shipBatches.Add(1)
+		n.ctr.shipLines.Add(int64(sent))
+	}
+	return sent, nil
+}
+
+// errShipGap marks a hole in the shipping stream the standby cannot accept.
+var errShipGap = errors.New("shipping stream gap: resync required")
+
+// standbyStore is the receiving side: shipped lines persisted to a journal
+// file a takeover service can open directly.
+type standbyStore struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	epoch int64
+	next  int64 // next expected seq in epoch
+}
+
+// openStandbyStore creates (or truncates) the shipped-journal file at path.
+// A restarted standby starts at epoch -1, which no shipper ever streams in —
+// the first batch necessarily gaps, draws a 409, and arrives again as a
+// snapshot. Standby restart recovery falls out of the protocol with no
+// special case.
+func openStandbyStore(path string) (*standbyStore, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("standby: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("standby: open %s: %w", path, err)
+	}
+	return &standbyStore{path: path, f: f, epoch: -1}, nil
+}
+
+// apply folds one shipped batch into the store.
+func (st *standbyStore) apply(batch *shipBatch) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if batch.Snapshot {
+		// New epoch: atomically replace the file with the snapshot.
+		tmp := st.path + ".tmp"
+		f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("standby: snapshot temp: %w", err)
+		}
+		for _, line := range batch.Lines {
+			if _, err := f.Write(line); err != nil {
+				f.Close()
+				return fmt.Errorf("standby: snapshot write: %w", err)
+			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("standby: snapshot sync: %w", err)
+		}
+		f.Close()
+		if err := os.Rename(tmp, st.path); err != nil {
+			return fmt.Errorf("standby: snapshot rename: %w", err)
+		}
+		old := st.f
+		nf, err := os.OpenFile(st.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("standby: reopen: %w", err)
+		}
+		st.f = nf
+		if old != nil {
+			old.Close()
+		}
+		st.epoch = batch.Epoch
+		st.next = batch.Seq + int64(len(batch.Lines))
+		return nil
+	}
+	if batch.Epoch != st.epoch || batch.Seq != st.next {
+		return fmt.Errorf("standby: epoch %d seq %d, have epoch %d next %d: %w",
+			batch.Epoch, batch.Seq, st.epoch, st.next, errShipGap)
+	}
+	for _, line := range batch.Lines {
+		if _, err := st.f.Write(line); err != nil {
+			return fmt.Errorf("standby: append: %w", err)
+		}
+	}
+	if err := st.f.Sync(); err != nil {
+		return fmt.Errorf("standby: sync: %w", err)
+	}
+	st.next += int64(len(batch.Lines))
+	return nil
+}
+
+func (st *standbyStore) close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return nil
+	}
+	err := st.f.Close()
+	st.f = nil
+	return err
+}
+
+// Takeover promotes a shipped journal into a running service: open the
+// engine on the shipped file and let recovery-by-re-execution do the rest —
+// finished jobs are served from the journal (and cross-checked), unfinished
+// ones re-execute. This is the warm-takeover path a standby runs when its
+// primary dies; it reuses the crash-recovery machinery verbatim because, by
+// design, a dead primary and a crashed process leave the same artifact: a
+// journal prefix.
+func Takeover(shipPath string, cfg service.Config) (*service.Service, error) {
+	cfg.JournalPath = shipPath
+	return service.Open(cfg)
+}

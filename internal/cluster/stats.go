@@ -1,0 +1,63 @@
+package cluster
+
+import "sync/atomic"
+
+// counters is the node's cluster-layer telemetry (the inner service keeps
+// its own; these count only cross-node traffic).
+type counters struct {
+	fillAttempts     atomic.Int64
+	fillHits         atomic.Int64
+	fillMisses       atomic.Int64
+	fillSkips        atomic.Int64 // owner down: skipped straight to local compute
+	fillHedges       atomic.Int64
+	fillsServed      atomic.Int64 // fills answered for peers
+	offersSent       atomic.Int64
+	offerFails       atomic.Int64
+	offerDivergences atomic.Int64
+	stealsDone       atomic.Int64 // jobs borrowed from peers
+	completesSent    atomic.Int64
+	completeFails    atomic.Int64
+	shipBatches      atomic.Int64
+	shipLines        atomic.Int64
+	shipFails        atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the node's cluster counters.
+type Stats struct {
+	FillAttempts     int64 `json:"fill_attempts,omitempty"`
+	FillHits         int64 `json:"fill_hits,omitempty"`
+	FillMisses       int64 `json:"fill_misses,omitempty"`
+	FillSkips        int64 `json:"fill_skips,omitempty"`
+	FillHedges       int64 `json:"fill_hedges,omitempty"`
+	FillsServed      int64 `json:"fills_served,omitempty"`
+	OffersSent       int64 `json:"offers_sent,omitempty"`
+	OfferFails       int64 `json:"offer_fails,omitempty"`
+	OfferDivergences int64 `json:"offer_divergences,omitempty"`
+	StealsDone       int64 `json:"steals_done,omitempty"`
+	CompletesSent    int64 `json:"completes_sent,omitempty"`
+	CompleteFails    int64 `json:"complete_fails,omitempty"`
+	ShipBatches      int64 `json:"ship_batches,omitempty"`
+	ShipLines        int64 `json:"ship_lines,omitempty"`
+	ShipFails        int64 `json:"ship_fails,omitempty"`
+}
+
+// Stats snapshots the cluster counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		FillAttempts:     n.ctr.fillAttempts.Load(),
+		FillHits:         n.ctr.fillHits.Load(),
+		FillMisses:       n.ctr.fillMisses.Load(),
+		FillSkips:        n.ctr.fillSkips.Load(),
+		FillHedges:       n.ctr.fillHedges.Load(),
+		FillsServed:      n.ctr.fillsServed.Load(),
+		OffersSent:       n.ctr.offersSent.Load(),
+		OfferFails:       n.ctr.offerFails.Load(),
+		OfferDivergences: n.ctr.offerDivergences.Load(),
+		StealsDone:       n.ctr.stealsDone.Load(),
+		CompletesSent:    n.ctr.completesSent.Load(),
+		CompleteFails:    n.ctr.completeFails.Load(),
+		ShipBatches:      n.ctr.shipBatches.Load(),
+		ShipLines:        n.ctr.shipLines.Load(),
+		ShipFails:        n.ctr.shipFails.Load(),
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+)
+
+// Doer is the one-method transport the cluster needs: *http.Client satisfies
+// it for real deployments, and LoopNet satisfies it in-memory for
+// deterministic partition tests. Every cross-node byte flows through a Doer,
+// so a test that controls the Doer controls the network.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// LoopNet is an in-memory cluster transport: nodes register their HTTP
+// handlers under logical addresses, and per-node clients route requests by
+// URL host — unless a partition (or a deregistered node) stands between the
+// two endpoints, in which case the request fails exactly like a refused
+// connection. Partitions are symmetric and instantaneous, which makes
+// network chaos schedules deterministic: the same injection script yields
+// the same observable failures on every run.
+type LoopNet struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+	// cut["a|b"] (names sorted) marks a severed link.
+	cut map[string]bool
+}
+
+// NewLoopNet returns an empty in-memory network.
+func NewLoopNet() *LoopNet {
+	return &LoopNet{handlers: make(map[string]http.Handler), cut: make(map[string]bool)}
+}
+
+// Register attaches handler at the logical address addr (e.g. "node-a").
+func (l *LoopNet) Register(addr string, handler http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handlers[addr] = handler
+}
+
+// Deregister removes addr — subsequent requests to it fail like a dead host.
+func (l *LoopNet) Deregister(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.handlers, addr)
+}
+
+// Partition severs the link between a and b in both directions.
+func (l *LoopNet) Partition(a, b string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cut[linkKey(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (l *LoopNet) Heal(a, b string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.cut, linkKey(a, b))
+}
+
+// HealAll restores every link.
+func (l *LoopNet) HealAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cut = make(map[string]bool)
+}
+
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Client returns the Doer a node at address from uses to reach its peers.
+func (l *LoopNet) Client(from string) Doer {
+	return &loopClient{net: l, from: from}
+}
+
+type loopClient struct {
+	net  *LoopNet
+	from string
+}
+
+// Do routes the request to the registered handler for req.URL.Host,
+// respecting partitions and honouring context cancellation the way a real
+// client would: the handler runs on its own goroutine and an expired context
+// abandons it mid-flight.
+func (c *loopClient) Do(req *http.Request) (*http.Response, error) {
+	to := req.URL.Host
+	c.net.mu.Lock()
+	h, up := c.net.handlers[to]
+	severed := c.net.cut[linkKey(c.from, to)]
+	c.net.mu.Unlock()
+	if !up {
+		return nil, fmt.Errorf("loopnet: %s -> %s: connection refused (node down)", c.from, to)
+	}
+	if severed {
+		return nil, fmt.Errorf("loopnet: %s -> %s: network partition", c.from, to)
+	}
+	done := make(chan *http.Response, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req.Clone(req.Context()))
+		done <- rec.Result()
+	}()
+	select {
+	case resp := <-done:
+		return resp, nil
+	case <-req.Context().Done():
+		return nil, fmt.Errorf("loopnet: %s -> %s: %w", c.from, to, req.Context().Err())
+	}
+}

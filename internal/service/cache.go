@@ -113,6 +113,28 @@ type resultEntry struct {
 	overhead *harness.OverheadRow
 }
 
+// exportEntry renders a cache entry in wire form: the canonical result core
+// with the schedule attached — what peer fill responses, offers, and journal
+// shipping exchange between nodes. Job-specific fields stay zero.
+func exportEntry(ent *resultEntry) *Result {
+	res := ent.res // copy: canonical fields only
+	res.Schedule = ent.schedule
+	return &res
+}
+
+// entryFromPeer rebuilds a cache entry from a peer's wire-form result,
+// stripping every job- and transport-specific field so the installed entry
+// is indistinguishable from one computed locally. Callers have already
+// verified the schedule hashes to res.ScheduleHash.
+func entryFromPeer(res *Result) *resultEntry {
+	r := *res
+	sched := r.Schedule
+	r.JobID, r.Cached, r.InstrCached, r.SelfChecked, r.PeerFilled, r.Remote = "", false, false, false, false, false
+	r.Schedule, r.Overhead = nil, nil
+	r.Stage = StageLatency{}
+	return &resultEntry{res: r, schedule: sched}
+}
+
 // instrKey is the content address of an instrumentation: the exact source
 // text plus every option that changes the instrumented module.
 func instrKey(req *Request) string {

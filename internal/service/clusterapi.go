@@ -1,0 +1,280 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/diag"
+)
+
+// This file is the service's cluster-facing surface: everything a node
+// wrapper (internal/cluster) needs to shard caches, steal work, and ship
+// journals, expressed without any transport. The single-process service
+// never calls any of it; with the Config hooks nil these methods are dead
+// code and the service is bitwise-identical to the standalone engine.
+
+// StolenJob is one queued job lent to a peer for remote execution: the id the
+// origin node tracks it under plus the full request, which — by weak
+// determinism — is everything a peer needs to produce the identical result.
+type StolenJob struct {
+	ID  string  `json:"id"`
+	Req Request `json:"req"`
+}
+
+// StealQueued pops up to max queued jobs and lends them out for remote
+// execution. Lent jobs stay visible (StatusRunning) and keep their admission
+// weight; if no completion arrives within Config.StealReclaim they are
+// reclaimed and re-enqueued locally, so a stealer that dies mid-job delays
+// the job, never loses it. Internal recovery cross-check jobs are not
+// lendable and are executed locally instead.
+func (s *Service) StealQueued(max int) []StolenJob {
+	var out []StolenJob
+	for len(out) < max {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			break
+		}
+		var j *job
+		select {
+		case jj, ok := <-s.queue:
+			if !ok {
+				s.mu.Unlock()
+				return out
+			}
+			j = jj
+		default:
+			s.mu.Unlock()
+			return out
+		}
+		if j.verify != nil {
+			// Recovery cross-checks compare against the local journal; they
+			// are meaningless elsewhere. Run one exactly as a worker would.
+			s.wg.Add(1)
+			go func(v *job) { defer s.wg.Done(); s.runJob(v) }(j)
+			s.mu.Unlock()
+			continue
+		}
+		j.status = StatusRunning
+		s.lent[j.id] = j
+		id := j.id
+		j.reclaim = time.AfterFunc(s.cfg.StealReclaim, func() { s.reclaimLent(id) })
+		s.ctr.stolen.Add(1)
+		s.mu.Unlock()
+		out = append(out, StolenJob{ID: j.id, Req: j.req})
+	}
+	return out
+}
+
+// CompleteStolen installs a stolen job's remotely computed result through the
+// normal finish path (journaling, counters, breaker feedback). Completions
+// for unknown, reclaimed, or already-finished ids are dropped: determinism
+// makes duplicate executions interchangeable, so a late completion is
+// harmless, never a double finish.
+func (s *Service) CompleteStolen(id string, res *Result) {
+	if res == nil {
+		s.AbortStolen(id)
+		return
+	}
+	s.mu.Lock()
+	j, ok := s.lent[id]
+	if !ok || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.lent, id)
+	if j.reclaim != nil {
+		j.reclaim.Stop()
+	}
+	s.mu.Unlock()
+	r := *res
+	r.JobID = id
+	r.Remote = true
+	s.finish(j, &r, nil)
+}
+
+// AbortStolen hands a lent job back immediately — the stealer could not (or
+// would not) execute it. The job re-enqueues locally, and any deterministic
+// failure it carries is re-discovered by the origin's own pipeline with its
+// full typed report.
+func (s *Service) AbortStolen(id string) {
+	s.reclaimLent(id)
+}
+
+// reclaimLent pulls a lent job back into the local queue (reclaim timer
+// expiry or an explicit abort). After shutdown the job is left to journal
+// recovery instead: a crash-interrupted lend is exactly an incomplete
+// journaled job, and recovery re-executes it.
+func (s *Service) reclaimLent(id string) {
+	s.mu.Lock()
+	j, ok := s.lent[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.lent, id)
+	if j.reclaim != nil {
+		j.reclaim.Stop()
+	}
+	if s.closed {
+		j.status = StatusFailed
+		j.err = &diag.MisuseError{Op: "service.steal", ThreadID: -1, Kind: ErrClosed,
+			Detail: "stolen job reclaimed after shutdown; journal recovery re-executes it"}
+		s.mu.Unlock()
+		s.inflight.Add(-j.bytes)
+		close(j.done)
+		return
+	}
+	j.status = StatusQueued
+	s.ctr.stealReclaims.Add(1)
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		// The queue refilled while the job was out. Run it on its own
+		// goroutine rather than block or drop — reclaim must never lose work.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() { defer s.wg.Done(); s.runJob(j) }()
+	}
+}
+
+// ExecuteDetached runs one request through the cached pipeline without
+// creating a job record — the execution path a work-stealer uses for jobs it
+// borrowed from a peer. Panics are contained exactly like worker attempts;
+// deadlines come from the request (or Config.DefaultDeadline).
+func (s *Service) ExecuteDetached(ctx context.Context, req Request) (res *Result, err error) {
+	if err := normalize(&req); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(s.rootCtx, cancel)
+	defer stop()
+	defer cancel()
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancelDL context.CancelFunc
+		ctx, cancelDL = context.WithTimeout(ctx, deadline)
+		defer cancelDL()
+	}
+	j := &job{id: "detached", req: req}
+	return s.attempt(ctx, j)
+}
+
+// ResultByKey serves a peer's fill request from the local result cache: the
+// canonical core with the schedule attached, or a miss. A journal-degraded
+// service answers nothing — its cache is off, and it must not export entries
+// whose soundness policing just broke.
+func (s *Service) ResultByKey(key string) (*Result, bool) {
+	if s.degraded.Load() {
+		return nil, false
+	}
+	v, ok := s.results.get(key)
+	if !ok {
+		return nil, false
+	}
+	s.ctr.peerServes.Add(1)
+	return exportEntry(v.(*resultEntry)), true
+}
+
+// OfferResult installs a peer-computed entry into the local result cache —
+// the backfill path by which a non-owner that had to recompute locally
+// populates the shard owner. The offered schedule must hash to the claimed
+// ScheduleHash; an offer that disagrees with an existing entry is a
+// determinism divergence: it is rejected, counted, and fed to the circuit
+// breaker, and the existing entry stands.
+func (s *Service) OfferResult(key string, res *Result) error {
+	if res == nil || res.Schedule == nil {
+		return &diag.MisuseError{Op: "service.OfferResult", ThreadID: -1, Kind: diag.ErrBadConfig,
+			Detail: "offer without a schedule"}
+	}
+	if s.degraded.Load() {
+		return nil // cache is off; accepting would be a silent no-op anyway
+	}
+	if fmt.Sprintf("%016x", res.Schedule.Hash()) != res.ScheduleHash || res.Schedule.Len() != res.ScheduleLen {
+		s.ctr.peerFillRejects.Add(1)
+		return &diag.MisuseError{Op: "service.OfferResult", ThreadID: -1, Kind: diag.ErrBadConfig,
+			Detail: "offered schedule does not hash to its claimed ScheduleHash"}
+	}
+	if v, ok := s.results.get(key); ok {
+		ent := v.(*resultEntry)
+		if ent.res.ScheduleHash != res.ScheduleHash {
+			err := fmt.Errorf("service: offered result for %s: %w: cached schedule hash %s, offered %s",
+				key[:12], diag.ErrDivergence, ent.res.ScheduleHash, res.ScheduleHash)
+			s.ctr.divergences.Add(1)
+			s.ctr.failures.record("", "divergence", err.Error())
+			s.breaker.onDivergence()
+			return err
+		}
+		return nil
+	}
+	s.results.add(key, entryFromPeer(res))
+	s.ctr.offers.Add(1)
+	return nil
+}
+
+// Ready is the readiness gate behind /readyz: nil when the service can do
+// real work. Unreadiness is an error naming the first failing gate — a
+// closed service, a degraded (unwritable) journal, or an open divergence
+// circuit breaker. Liveness is not checked here; a live-but-unready node
+// answers health probes while telling load balancers and cluster peers to
+// route around it.
+func (s *Service) Ready() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return &diag.MisuseError{Op: "service.Ready", ThreadID: -1, Kind: ErrClosed, Detail: "service is draining or closed"}
+	}
+	if s.degraded.Load() {
+		return fmt.Errorf("journal degraded: durability and result cache are off")
+	}
+	if state, _ := s.breaker.snapshot(); state == "open" {
+		return &diag.MisuseError{Op: "service.Ready", ThreadID: -1, Kind: ErrCircuitOpen,
+			Detail: "divergence circuit breaker open"}
+	}
+	return nil
+}
+
+// KeyFor computes the content-addressed result key req resolves to — the
+// key the cluster layer shards ownership on. It normalizes and instruments
+// (through the instrumentation cache) exactly like execution, so KeyFor and
+// a subsequent execution of req agree on the key. Exported for cluster
+// tests and smoke tooling that reason about shard placement.
+func (s *Service) KeyFor(req Request) (string, error) {
+	if err := normalize(&req); err != nil {
+		return "", err
+	}
+	var lat StageLatency
+	ie, _, err := s.instrumented(&req, &lat)
+	if err != nil {
+		return "", err
+	}
+	return resultKey(ie.text, &req), nil
+}
+
+// QueueDepth reports the current queue backlog — the signal health probes
+// export and work-stealing peers key on.
+func (s *Service) QueueDepth() int {
+	return len(s.queue)
+}
+
+// Degraded reports whether the journal-degradation latch has tripped.
+func (s *Service) Degraded() bool {
+	return s.degraded.Load()
+}
+
+// JournalSnapshotRecords renders the journal's live job table as
+// compaction-style record lines — the journal-shipping resync payload a
+// shipper sends a standby that lost (or never had) the stream. Nil when no
+// journal is configured.
+func (s *Service) JournalSnapshotRecords() [][]byte {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.snapshotRecords()
+}

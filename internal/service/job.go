@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/diag"
 	"repro/internal/harness"
@@ -84,6 +85,12 @@ type Result struct {
 	// SelfChecked marks a cache hit that was re-executed by the determinism
 	// self-check and found to agree with the stored schedule.
 	SelfChecked bool `json:"self_checked,omitempty"`
+	// PeerFilled marks a result served from a cluster peer's cache (shard
+	// fill) rather than computed or cached locally.
+	PeerFilled bool `json:"peer_filled,omitempty"`
+	// Remote marks a result computed by a work-stealing peer on behalf of
+	// this node.
+	Remote bool `json:"remote,omitempty"`
 
 	// ScheduleHash is the %016x FNV-1a digest of the synchronization
 	// schedule — equal hashes across runs are the weak-determinism contract.
@@ -146,6 +153,9 @@ type job struct {
 	// verify marks an internal recovery cross-check job (not client
 	// visible): re-execute req and compare against the journaled hash.
 	verify *verifySpec
+	// reclaim re-enqueues the job if a work-stealing peer that borrowed it
+	// never reports back (armed only while lent).
+	reclaim *time.Timer
 
 	// Guarded by the owning service's mu.
 	status Status

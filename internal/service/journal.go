@@ -99,19 +99,31 @@ type journal struct {
 	// permanently degraded after an unrecovered write error.
 	chaos  *chaos
 	broken bool
+
+	// ship, when set, receives a copy of every appended record line — the
+	// journal-shipping feed a cluster standby replays for warm takeover. It
+	// runs under j.mu and must only buffer (see Config.ShipRecord).
+	ship func(line []byte)
 }
+
+// maxJournalRecord bounds one record line on replay. A line past it cannot
+// be a record this journal wrote (requests are capped far below it at the
+// HTTP edge), so replay treats it as external damage: stop and truncate to
+// the last good prefix, exactly like a malformed line.
+const maxJournalRecord = 32 << 20
 
 // openJournal opens (creating if needed) the journal at path and replays it.
 // A torn final line — the signature of a crash mid-write — is truncated
 // away, not treated as corruption. Returns the journal and the replayed jobs
 // in first-submission order.
-func openJournal(path string, fsyncEvery, compactEvery int, chaos *chaos) (*journal, []*journalJob, error) {
+func openJournal(path string, fsyncEvery, compactEvery int, chaos *chaos, ship func(line []byte)) (*journal, []*journalJob, error) {
 	j := &journal{
 		path:         path,
 		fsyncEvery:   fsyncEvery,
 		compactEvery: compactEvery,
 		live:         make(map[string]*journalJob),
 		chaos:        chaos,
+		ship:         ship,
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
@@ -120,8 +132,8 @@ func openJournal(path string, fsyncEvery, compactEvery int, chaos *chaos) (*jour
 	validLen := 0
 	for len(raw) > 0 {
 		nl := bytes.IndexByte(raw, '\n')
-		if nl < 0 {
-			break // torn final line: a crash interrupted the write
+		if nl < 0 || nl > maxJournalRecord {
+			break // torn final line or an impossibly large record: stop here
 		}
 		line := raw[:nl]
 		raw = raw[nl+1:]
@@ -164,6 +176,9 @@ func openJournal(path string, fsyncEvery, compactEvery int, chaos *chaos) (*jour
 // a job re-executed after a crash may legitimately append a second finish
 // record, and determinism makes them interchangeable.
 func (j *journal) replay(rec *journalRecord) {
+	if rec.ID == "" {
+		return // the service never writes empty ids; this is external damage
+	}
 	switch rec.Type {
 	case recSubmitted:
 		if _, ok := j.live[rec.ID]; ok || rec.Req == nil {
@@ -231,7 +246,11 @@ func (j *journal) appendFinished(id string, res *Result, errMsg, errKind string)
 	return j.maybeCompactLocked()
 }
 
-// appendLocked marshals rec into the pending buffer.
+// appendLocked marshals rec into the pending buffer and feeds the shipping
+// hook. Shipping sees the logical append stream — every record in append
+// order, including ones a later compaction rewrites — which is exactly what
+// a standby needs to replay (replay is last-finish-wins, so the stream and
+// its compaction are interchangeable).
 func (j *journal) appendLocked(rec *journalRecord) error {
 	if err := j.chaos.journalErr(); err != nil {
 		j.broken = true
@@ -245,7 +264,42 @@ func (j *journal) appendLocked(rec *journalRecord) error {
 	j.pending.Write(b)
 	j.pending.WriteByte('\n')
 	j.pendingRecs++
+	if j.ship != nil {
+		line := make([]byte, len(b)+1)
+		copy(line, b)
+		line[len(b)] = '\n'
+		j.ship(line)
+	}
 	return nil
+}
+
+// snapshotRecords renders the live job table as compaction-style record
+// lines (one submitted record per job, plus its finish record when done) —
+// the bounded resync payload journal shipping falls back to when the standby
+// lost the stream.
+func (j *journal) snapshotRecords() [][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out [][]byte
+	emit := func(rec *journalRecord) {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		out = append(out, append(b, '\n'))
+	}
+	for _, id := range j.order {
+		jj := j.live[id]
+		emit(&journalRecord{Type: recSubmitted, ID: jj.id, Req: &jj.req})
+		if jj.done {
+			if jj.result != nil {
+				emit(&journalRecord{Type: recCompleted, ID: jj.id, Result: jj.result})
+			} else {
+				emit(&journalRecord{Type: recFailed, ID: jj.id, Error: jj.errMsg, Kind: jj.errKind})
+			}
+		}
+	}
+	return out
 }
 
 // flushLocked hands the pending buffer to the OS and, when sync is set,

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -186,7 +187,7 @@ func TestJournalTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	jn, jobs, err := openJournal(path, 16, 4096, nil)
+	jn, jobs, err := openJournal(path, 16, 4096, nil, nil)
 	if err != nil {
 		t.Fatalf("openJournal: %v", err)
 	}
@@ -207,7 +208,7 @@ func TestJournalTornTail(t *testing.T) {
 	if err := jn.close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	_, jobs2, err := openJournal(path, 16, 4096, nil)
+	_, jobs2, err := openJournal(path, 16, 4096, nil, nil)
 	if err != nil {
 		t.Fatalf("re-open: %v", err)
 	}
@@ -222,7 +223,7 @@ func TestJournalTornTail(t *testing.T) {
 // and shrinks the file.
 func TestJournalCompaction(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "jobs.journal")
-	jn, _, err := openJournal(path, 1, 8, nil)
+	jn, _, err := openJournal(path, 1, 8, nil, nil)
 	if err != nil {
 		t.Fatalf("openJournal: %v", err)
 	}
@@ -256,7 +257,7 @@ func TestJournalCompaction(t *testing.T) {
 		t.Fatalf("compacted log has %d lines, want 6", n)
 	}
 	// Replay after compaction: last finish wins.
-	_, jobs, err := openJournal(path, 1, 8, nil)
+	_, jobs, err := openJournal(path, 1, 8, nil, nil)
 	if err != nil {
 		t.Fatalf("re-open: %v", err)
 	}
@@ -367,5 +368,121 @@ func TestJournalRecoveryCrossCheckDivergence(t *testing.T) {
 	}
 	if ra := RetryAfter(err); ra == 0 {
 		t.Fatalf("RetryAfter(circuit open) = %d, want nonzero", ra)
+	}
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to the journal opener. Whatever the
+// damage — torn tails, truncated UTF-8, interior garbage, oversized or empty
+// lines — opening must not panic or error (damage truncates, it never
+// corrupts), the replayed job set must be internally consistent, and the
+// repaired log must remain appendable and replayable.
+//
+// Run with: go test -fuzz=FuzzJournalReplay ./internal/service/
+// Seed corpus: testdata/fuzz/FuzzJournalReplay/ (checked in).
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"type":"submitted","id":"job-1","req":{"source":"module m"}}` + "\n"))
+	// Torn tail: a complete record then a crash mid-write.
+	f.Add([]byte(`{"type":"submitted","id":"job-1","req":{"source":"module m"}}` + "\n" +
+		`{"type":"completed","id":"job-1","resu`))
+	// Truncated UTF-8 / raw binary damage inside a line.
+	f.Add([]byte("{\"type\":\"submitted\",\"id\":\"job-\xff\xfe\x01\"\n"))
+	// Interior garbage between two valid records.
+	f.Add([]byte(`{"type":"submitted","id":"a","req":{"source":"module m"}}` + "\n" +
+		"!!not json!!\n" +
+		`{"type":"submitted","id":"b","req":{"source":"module m"}}` + "\n"))
+	// Records the service never writes: empty id, unknown type, finish with
+	// no matching submit.
+	f.Add([]byte(`{"type":"submitted","id":"","req":{"source":"module m"}}` + "\n" +
+		`{"type":"frobnicated","id":"x"}` + "\n" +
+		`{"type":"completed","id":"ghost","result":{"schedule_hash":"00"}}` + "\n"))
+	// A long line of noise (scaled-down stand-in for an oversized record).
+	f.Add(append(bytes.Repeat([]byte{'A'}, 1<<16), '\n'))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jn, jobs, err := openJournal(path, 1, 1<<30, nil, nil)
+		if err != nil {
+			t.Fatalf("openJournal rejected arbitrary bytes instead of truncating: %v", err)
+		}
+		seen := make(map[string]bool, len(jobs))
+		for _, jj := range jobs {
+			if jj.id == "" {
+				t.Fatal("replay resurrected a job with an empty id")
+			}
+			if seen[jj.id] {
+				t.Fatalf("replay produced duplicate job %q", jj.id)
+			}
+			seen[jj.id] = true
+		}
+		// The truncated log must still accept appends...
+		probe := "fuzz-probe"
+		for seen[probe] {
+			probe += "x"
+		}
+		if err := jn.appendSubmitted(probe, &Request{Source: "module m"}); err != nil {
+			t.Fatalf("append after repair: %v", err)
+		}
+		if err := jn.appendFinished(probe, &Result{ScheduleHash: "feedface00000000"}, "", ""); err != nil {
+			t.Fatalf("finish after repair: %v", err)
+		}
+		if err := jn.close(); err != nil {
+			t.Fatalf("close after repair: %v", err)
+		}
+		// ...and replay back to exactly the pre-damage jobs plus the probe.
+		_, jobs2, err := openJournal(path, 1, 1<<30, nil, nil)
+		if err != nil {
+			t.Fatalf("reopen after repair: %v", err)
+		}
+		if len(jobs2) != len(jobs)+1 {
+			t.Fatalf("reopen replayed %d jobs, want %d", len(jobs2), len(jobs)+1)
+		}
+		found := false
+		for _, jj := range jobs2 {
+			if jj.id == probe {
+				found = true
+				if !jj.done || jj.result == nil || jj.result.ScheduleHash != "feedface00000000" {
+					t.Fatalf("probe job state wrong after reopen: done=%v result=%+v", jj.done, jj.result)
+				}
+			}
+		}
+		if !found {
+			t.Fatal("probe job lost on reopen")
+		}
+	})
+}
+
+// TestJournalOversizedRecordTruncated: a line past maxJournalRecord cannot be
+// a record this journal wrote, so replay treats everything from it on as
+// external damage — the valid prefix survives, the monster line is truncated
+// away, and the log keeps working.
+func TestJournalOversizedRecordTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	var buf bytes.Buffer
+	buf.WriteString(`{"type":"submitted","id":"keep","req":{"source":"module m"}}` + "\n")
+	buf.Write(bytes.Repeat([]byte{'z'}, maxJournalRecord+2))
+	buf.WriteByte('\n')
+	buf.WriteString(`{"type":"submitted","id":"after","req":{"source":"module m"}}` + "\n")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jn, jobs, err := openJournal(path, 1, 1<<30, nil, nil)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	defer jn.close()
+	if len(jobs) != 1 || jobs[0].id != "keep" {
+		t.Fatalf("replayed %d jobs %v, want only the pre-damage prefix", len(jobs), jobs)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > int64(maxJournalRecord) {
+		t.Fatalf("oversized line not truncated away: file is %d bytes", fi.Size())
 	}
 }

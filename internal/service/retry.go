@@ -70,13 +70,18 @@ func newBackoff(base, max time.Duration, seed int64) *backoff {
 // retry): a uniformly jittered draw from (0, min(base·2ⁿ⁻¹, max)]. Full
 // jitter (rather than equal or decorrelated) keeps herds of jobs that failed
 // together from retrying together.
+//
+// The exponential is computed as a clamped shift, not repeated doubling:
+// base·2ⁿ⁻¹ fits below max exactly when base ≤ max>>(n-1), and any larger
+// attempt count — including ones whose doubling would overflow
+// time.Duration and come out negative — saturates at max.
 func (b *backoff) delay(n int) time.Duration {
-	d := b.base
-	for i := 1; i < n && d < b.max; i++ {
-		d *= 2
+	if n < 1 {
+		n = 1
 	}
-	if d > b.max {
-		d = b.max
+	d := b.max
+	if shift := uint(n - 1); shift < 63 && b.base <= b.max>>shift {
+		d = b.base << shift
 	}
 	if d <= 0 {
 		return 0

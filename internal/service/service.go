@@ -113,6 +113,40 @@ type Config struct {
 
 	// Faults arms the service chaos harness (nil in production).
 	Faults *FaultConfig
+
+	// Cluster hooks — the transport-agnostic extension surface that
+	// internal/cluster plugs into. All of them are optional: with every hook
+	// nil (single-process mode) the service is byte-for-byte the standalone
+	// engine, no cluster code on any path.
+
+	// Fill, when set, is consulted on a result-cache miss before local
+	// simulation: the cluster layer fetches the entry from the key's shard
+	// owner. A nil return means the peer path is unavailable — the service
+	// falls back to local recomputation, never an error. A returned Result
+	// must carry its Schedule (the cache entry's self-check reference).
+	Fill func(ctx context.Context, key string, req *Request) *Result
+	// Offer, when set, receives every freshly computed result (schedule
+	// attached) so the cluster layer can backfill the key's shard owner.
+	// It must enqueue and return quickly; it runs on the worker's goroutine.
+	Offer func(key string, res *Result)
+	// ShipRecord, when set, receives every journal record line as it is
+	// appended — the journal-shipping feed. It is called under the journal
+	// lock: implementations must buffer and return, never block or call
+	// back into the service.
+	ShipRecord func(line []byte)
+	// PeerCheckRate is the fraction of peer-filled results to re-execute
+	// locally and cross-check against the peer's schedule (0 disables, 1
+	// checks every fill); PeerCheckSeed seeds the deterministic sampling
+	// stream. A mismatch is a typed divergence that fails the job and feeds
+	// the admission circuit breaker — a wrong peer answer is never served
+	// silently.
+	PeerCheckRate float64
+	PeerCheckSeed int64
+	// StealReclaim bounds how long a stolen (lent-to-a-peer) job may stay
+	// out before the service reclaims it and re-enqueues it locally
+	// (default 5s). Determinism makes the duplicate execution harmless: a
+	// late remote completion for a reclaimed job is simply dropped.
+	StealReclaim time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +186,9 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 4096
 	}
+	if c.StealReclaim <= 0 {
+		c.StealReclaim = 5 * time.Second
+	}
 	return c
 }
 
@@ -164,7 +201,8 @@ type Service struct {
 	seq       int64
 	jobs      map[string]*job
 	queue     chan *job
-	doneOrder []string // finished job ids, oldest first (retention eviction)
+	doneOrder []string        // finished job ids, oldest first (retention eviction)
+	lent      map[string]*job // queued jobs lent to work-stealing peers
 
 	wg sync.WaitGroup
 
@@ -173,10 +211,11 @@ type Service struct {
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 
-	instr   *lruCache
-	results *lruCache
-	check   *sampler
-	ctr     counters
+	instr     *lruCache
+	results   *lruCache
+	check     *sampler
+	peerCheck *sampler
+	ctr       counters
 
 	journal  *journal // nil when no journal is configured
 	degraded atomic.Bool
@@ -210,23 +249,25 @@ func New(cfg Config) *Service {
 func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:     cfg,
-		jobs:    make(map[string]*job),
-		queue:   make(chan *job, cfg.QueueDepth),
-		instr:   newLRU(cfg.InstrCacheSize),
-		results: newLRU(cfg.ResultCacheSize),
-		check:   newSampler(cfg.SelfCheckRate, cfg.SelfCheckSeed),
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		back:    newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.RetrySeed),
-		chaos:   newChaos(cfg.Faults),
-		costs:   ir.DefaultCostModel(),
-		est:     estimates.DefaultTable(),
+		cfg:       cfg,
+		jobs:      make(map[string]*job),
+		lent:      make(map[string]*job),
+		queue:     make(chan *job, cfg.QueueDepth),
+		instr:     newLRU(cfg.InstrCacheSize),
+		results:   newLRU(cfg.ResultCacheSize),
+		check:     newSampler(cfg.SelfCheckRate, cfg.SelfCheckSeed),
+		peerCheck: newSampler(cfg.PeerCheckRate, cfg.PeerCheckSeed),
+		breaker:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		back:      newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.RetrySeed),
+		chaos:     newChaos(cfg.Faults),
+		costs:     ir.DefaultCostModel(),
+		est:       estimates.DefaultTable(),
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 
 	var recovered []*job
 	if cfg.JournalPath != "" {
-		jn, replayed, err := openJournal(cfg.JournalPath, cfg.JournalFsyncEvery, cfg.JournalCompactEvery, s.chaos)
+		jn, replayed, err := openJournal(cfg.JournalPath, cfg.JournalFsyncEvery, cfg.JournalCompactEvery, s.chaos, cfg.ShipRecord)
 		if err != nil {
 			return nil, err
 		}
@@ -502,6 +543,13 @@ func (s *Service) Snapshot() StatsSnapshot {
 		RecoveryChecks:    s.ctr.recoverChecks.Load(),
 		BreakerState:      breakerState,
 		BreakerTrips:      breakerTrips,
+		PeerFills:         s.ctr.peerFills.Load(),
+		PeerFillRejects:   s.ctr.peerFillRejects.Load(),
+		PeerFillChecks:    s.ctr.peerChecks.Load(),
+		PeerServes:        s.ctr.peerServes.Load(),
+		PeerOffers:        s.ctr.offers.Load(),
+		JobsStolen:        s.ctr.stolen.Load(),
+		StealReclaims:     s.ctr.stealReclaims.Load(),
 		RecentFailures:    s.ctr.failures.snapshot(),
 		Stages: map[string]StageStats{
 			"parse":      s.ctr.parse.snapshot(),
@@ -834,6 +882,23 @@ func (s *Service) execute(ctx context.Context, j *job) (*Result, error) {
 			return s.assemble(j, ie, ent, true, instrHit, selfChecked, &lat)
 		}
 		s.ctr.resultMisses.Add(1)
+		// Shard miss: ask the cluster layer to fill from the key's owner
+		// before paying for a local simulation. Fill failure is never an
+		// error — a nil entry falls through to local recomputation.
+		if s.cfg.Fill != nil {
+			ent, err := s.peerFill(ctx, rk, j, ie)
+			if err != nil {
+				return nil, err // peer-fill cross-check divergence
+			}
+			if ent != nil {
+				s.results.add(rk, ent)
+				res, err := s.assemble(j, ie, ent, false, instrHit, false, &lat)
+				if res != nil {
+					res.PeerFilled = true
+				}
+				return res, err
+			}
+		}
 	}
 
 	start := time.Now()
@@ -845,8 +910,51 @@ func (s *Service) execute(ctx context.Context, j *job) (*Result, error) {
 	}
 	if cacheOn {
 		s.results.add(rk, ent)
+		// Freshly computed under a cluster: offer the entry to the key's
+		// shard owner so the next fill from any node hits.
+		if s.cfg.Offer != nil {
+			s.cfg.Offer(rk, exportEntry(ent))
+		}
 	}
 	return s.assemble(j, ie, ent, false, instrHit, false, &lat)
+}
+
+// peerFill asks the cluster layer for a result-cache entry computed
+// elsewhere, validates its self-consistency, and (at Config.PeerCheckRate)
+// cross-checks it by local re-execution. Returns (nil, nil) whenever the
+// peer path cannot produce a trustworthy entry — the caller recomputes
+// locally and the client never sees a peer failure. The only error returned
+// is a typed divergence: the peer's schedule and a local re-execution
+// disagreed, which is a soundness failure that must not be served.
+func (s *Service) peerFill(ctx context.Context, key string, j *job, ie *instrEntry) (*resultEntry, error) {
+	pr := s.cfg.Fill(ctx, key, &j.req)
+	if pr == nil || pr.Schedule == nil {
+		return nil, nil
+	}
+	// Self-consistency: the transferred schedule must hash to the claimed
+	// ScheduleHash and match the claimed length. A corrupted transfer is
+	// treated as a miss, not an answer.
+	if fmt.Sprintf("%016x", pr.Schedule.Hash()) != pr.ScheduleHash || pr.Schedule.Len() != pr.ScheduleLen {
+		s.ctr.peerFillRejects.Add(1)
+		return nil, nil
+	}
+	ent := entryFromPeer(pr)
+	if s.peerCheck.sample() {
+		s.ctr.peerChecks.Add(1)
+		fresh, err := s.simulate(ctx, ie, &j.req)
+		if err != nil {
+			// The local pipeline refuses a request the peer claims to have
+			// completed — surface it as the job's own (typed) failure rather
+			// than serving an answer the local engine cannot reproduce.
+			return nil, err
+		}
+		if d := trace.Compare(ent.schedule, fresh.schedule); d.Diverged {
+			s.ctr.divergences.Add(1)
+			return nil, fmt.Errorf("service: peer-fill cross-check: %w", trace.DivergenceError(1, d))
+		}
+	}
+	s.ctr.peerFills.Add(1)
+	return ent, nil
 }
 
 // instrumented returns the cached instrumentation for req, building it on a

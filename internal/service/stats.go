@@ -30,6 +30,17 @@ type counters struct {
 	recovered     atomic.Int64
 	recoverChecks atomic.Int64
 
+	// Cluster counters: peer cache fills accepted / rejected as inconsistent
+	// / cross-checked, fill requests served to peers, offers installed, jobs
+	// lent to work-stealers, and lent jobs reclaimed.
+	peerFills       atomic.Int64
+	peerFillRejects atomic.Int64
+	peerChecks      atomic.Int64
+	peerServes      atomic.Int64
+	offers          atomic.Int64
+	stolen          atomic.Int64
+	stealReclaims   atomic.Int64
+
 	parse      stageAgg
 	instrument stageAgg
 	simulate   stageAgg
@@ -194,6 +205,19 @@ type StatsSnapshot struct {
 	// trip count.
 	BreakerState string `json:"breaker_state"`
 	BreakerTrips int64  `json:"breaker_trips"`
+
+	// Cluster counters (zero in single-process mode): results accepted from
+	// peer cache fills, fills rejected as self-inconsistent, fills
+	// cross-checked by local re-execution, fill requests served to peers,
+	// peer offers installed, jobs lent to work-stealing peers, and lent jobs
+	// reclaimed after the stealer went silent.
+	PeerFills       int64 `json:"peer_fills,omitempty"`
+	PeerFillRejects int64 `json:"peer_fill_rejects,omitempty"`
+	PeerFillChecks  int64 `json:"peer_fill_checks,omitempty"`
+	PeerServes      int64 `json:"peer_serves,omitempty"`
+	PeerOffers      int64 `json:"peer_offers,omitempty"`
+	JobsStolen      int64 `json:"jobs_stolen,omitempty"`
+	StealReclaims   int64 `json:"steal_reclaims,omitempty"`
 
 	// RecentFailures is the bounded failure ring, oldest first.
 	RecentFailures []FailureRecord `json:"recent_failures,omitempty"`
