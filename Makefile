@@ -1,7 +1,7 @@
 GO ?= go
 TIMEOUT ?= 10m
 
-.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke cluster-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke cluster-smoke nemesis-smoke
 
 # check is what CI runs: build, vet, full test suite under the race detector.
 check: build vet race
@@ -53,6 +53,14 @@ serve-smoke:
 # `make test`; -short keeps this target CI-cheap.
 chaos-smoke:
 	$(GO) test -run 'TestChaos' -short -count=1 -timeout $(TIMEOUT) ./internal/service/
+
+# nemesis-smoke runs the short slice of the nemesis properties: seeded fault
+# schedules (disk faults + post-crash journal scars single-node; asymmetric
+# partitions, flaky links and response corruption in the cluster) under which
+# no acknowledged job may be silently lost and corrupt bytes may never be
+# served. The full ≥20-schedule properties run in `make test`.
+nemesis-smoke:
+	$(GO) test -run 'TestNemesis|TestJournalInteriorCorruption|TestScrubJournal|TestLoopNet|TestShipBatchCorruption|TestPeerQuarantine|TestPlan|TestEngine|TestFaultFS|TestScar' -short -count=1 -timeout $(TIMEOUT) ./internal/service/ ./internal/cluster/ ./internal/nemesis/
 
 # cluster-smoke proves the shard group end to end over real loopback HTTP:
 # boot a 3-node cluster (each node with its own journal), sweep jobs across

@@ -11,6 +11,8 @@
 //	         [-standby ADDR] [-ship-path PATH]
 //	detserve -smoke
 //	detserve -cluster-smoke
+//	detserve -journal PATH -verify-journal
+//	detserve -journal PATH -scrub
 //
 // Endpoints:
 //
@@ -59,6 +61,13 @@
 // -smoke runs the self-test used by `make serve-smoke`: start an in-process
 // server on a random port, submit the same program twice, and verify the
 // second response is a cache hit with an identical schedule hash.
+//
+// -verify-journal runs a read-only integrity scan of the -journal log (CRC
+// frames, record structure, torn tail) and prints the JSON report; it exits
+// nonzero when damage is found. -scrub additionally repairs the log offline:
+// damaged lines move to a `<journal>.quarantine` sidecar and the log is
+// rewritten without them — the same pass server startup runs automatically.
+// See DESIGN.md §11.
 package main
 
 import (
@@ -95,6 +104,8 @@ func main() {
 		deadlineF   = flag.Duration("deadline", 0, "default per-job execution deadline (0 = unbounded)")
 		maxRetries  = flag.Int("max-retries", 2, "transient-failure retries per job (0 disables)")
 		smoke       = flag.Bool("smoke", false, "run the cache-coherence smoke test and exit")
+		scrubF      = flag.Bool("scrub", false, "repair the -journal log offline (quarantine damaged records, rewrite), print the JSON report, exit")
+		verifyF     = flag.Bool("verify-journal", false, "read-only integrity scan of the -journal log, print the JSON report, exit (nonzero on damage)")
 
 		self         = flag.String("self", "", "advertised cluster address (default: -addr)")
 		peersF       = flag.String("peers", "", "comma-separated peer addresses (enables sharded peer cache fill and work stealing)")
@@ -134,6 +145,24 @@ func main() {
 	}
 	if *maxRetries == 0 {
 		cfg.MaxRetries = -1 // Config 0 means "default"; the flag's 0 means off
+	}
+
+	if *scrubF || *verifyF {
+		if *journal == "" {
+			fmt.Fprintln(os.Stderr, "detserve: -scrub and -verify-journal require -journal PATH")
+			os.Exit(2)
+		}
+		rep, err := service.ScrubJournal(nil, *journal, *scrubF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detserve: scrub:", err)
+			os.Exit(1)
+		}
+		out, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(out))
+		if *verifyF && !*scrubF && (rep.Quarantined > 0 || rep.TornBytes > 0) {
+			os.Exit(1) // verify mode flags damage without repairing it
+		}
+		return
 	}
 
 	if *smoke {

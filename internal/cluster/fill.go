@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/service"
@@ -98,8 +99,19 @@ func (n *Node) fetchResult(ctx context.Context, owner, key string) (*service.Res
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("fill %s: status %d", owner, resp.StatusCode)
 	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fill %s: %w", owner, err)
+	}
+	// Verify before decoding: a corrupt peer response must never become a
+	// served result. Detection quarantines the peer and falls back to local
+	// recomputation — slower, never wrong.
+	if err := verifySum(resp.Header, body, "fill from "+owner); err != nil {
+		n.reportPeerCorruption(owner, err)
+		return nil, err
+	}
 	var res service.Result
-	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+	if err := json.Unmarshal(body, &res); err != nil {
 		return nil, fmt.Errorf("fill %s: %w", owner, err)
 	}
 	return &res, nil
@@ -129,6 +141,7 @@ func (n *Node) offer(key string, res *service.Result) {
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
+		setSum(req.Header, body)
 		resp, err := n.cfg.Client.Do(req)
 		if err != nil {
 			n.ctr.offerFails.Add(1)

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/crc32"
+	"net/http"
+
+	"repro/internal/diag"
+)
+
+// Wire integrity. Every peer-protocol payload that carries a result — fill
+// responses, offer and complete bodies — travels with a CRC32C of its bytes
+// in the X-Detserve-Sum header, and journal-shipping batches carry a Sum over
+// their lines. TCP's checksum is famously weak and proxies/caches can mangle
+// bodies wholesale, so each receiver verifies before decoding: a mismatch is
+// a typed *diag.CorruptionError, the payload is discarded (recomputed,
+// resynced, or refetched — determinism makes every copy replaceable), the
+// event is counted, and the sending peer is quarantined until it proves
+// healthy again. Verification is backward compatible: a message without the
+// header (an older node) is accepted unverified.
+
+// sumHeader carries the CRC32C (Castagnoli, 8 hex digits) of the HTTP body.
+const sumHeader = "X-Detserve-Sum"
+
+var wireTable = crc32.MakeTable(crc32.Castagnoli)
+
+// bodySum is the wire checksum of a payload.
+func bodySum(b []byte) uint32 { return crc32.Checksum(b, wireTable) }
+
+// setSum stamps the checksum header for body onto h.
+func setSum(h http.Header, body []byte) {
+	h.Set(sumHeader, fmt.Sprintf("%08x", bodySum(body)))
+}
+
+// verifySum checks body against the checksum header from peer. A missing
+// header verifies vacuously (legacy sender); a malformed or mismatched one is
+// a *diag.CorruptionError.
+func verifySum(h http.Header, body []byte, source string) error {
+	declared := h.Get(sumHeader)
+	if declared == "" {
+		return nil
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(declared, "%08x", &want); err != nil {
+		return &diag.CorruptionError{Source: source, Detail: fmt.Sprintf("malformed %s header %q", sumHeader, declared)}
+	}
+	if got := bodySum(body); got != want {
+		return &diag.CorruptionError{Source: source, Detail: fmt.Sprintf("body checksum mismatch (declared %08x, computed %08x over %d bytes)", want, got, len(body))}
+	}
+	return nil
+}
+
+// sumLines is the batch checksum journal shipping uses: CRC32C over the
+// concatenated lines. Empty input sums to 0, which the protocol reads as
+// "no checksum" — a legacy shipper's batches verify vacuously.
+func sumLines(lines [][]byte) uint32 {
+	h := crc32.New(wireTable)
+	for _, line := range lines {
+		h.Write(line)
+	}
+	return h.Sum32()
+}
+
+// reportPeerCorruption is the one funnel for detected peer-payload damage:
+// count it, quarantine the peer (it keeps serving damaged bytes until proven
+// healthy — see membership.quarantine), and feed the service breaker so
+// sustained corruption stops admission instead of racing the fault.
+func (n *Node) reportPeerCorruption(peer string, err error) {
+	n.ctr.corruptDetected.Add(1)
+	if n.members != nil && n.members.quarantine(peer) {
+		n.ctr.peerQuarantines.Add(1)
+	}
+	n.svc.ReportCorruption(err)
+}

@@ -33,6 +33,14 @@ type peerState struct {
 	failures int   // consecutive probe failures
 	depth    int   // last reported queue depth (work-stealing signal)
 	probes   int64 // total probes sent
+
+	// quarantined marks a peer that served corrupt bytes. Quarantine is a
+	// harsher down-state than probe failure: a down peer re-enters on a
+	// single probe success (it was merely unreachable), a quarantined peer
+	// needs threshold *consecutive* successes (it answered — wrongly — so
+	// one good answer proves little about its storage or path).
+	quarantined bool
+	successes   int // consecutive successes while quarantined
 }
 
 // healthReport is the /healthz body peers exchange.
@@ -116,8 +124,19 @@ func (m *membership) probeOnce(ctx context.Context) {
 		p.probes++
 		if err != nil {
 			p.failures++
+			p.successes = 0
 			if p.failures >= m.threshold {
 				p.alive = false
+			}
+		} else if p.quarantined {
+			// Re-entry from quarantine demands threshold consecutive clean
+			// probes, not one: the peer was answering when it corrupted.
+			p.failures = 0
+			p.successes++
+			if p.successes >= m.threshold {
+				p.quarantined = false
+				p.alive = true
+				p.depth = rep.QueueDepth
 			}
 		} else {
 			p.failures = 0
@@ -126,6 +145,22 @@ func (m *membership) probeOnce(ctx context.Context) {
 		}
 		m.mu.Unlock()
 	}
+}
+
+// quarantine marks addr down for serving corrupt bytes; it re-enters only
+// after threshold consecutive probe successes. Reports whether the peer was
+// newly quarantined (false for repeat offenders already in quarantine).
+func (m *membership) quarantine(addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[addr]
+	if !ok || p.quarantined {
+		return false
+	}
+	p.quarantined = true
+	p.alive = false
+	p.successes = 0
+	return true
 }
 
 // probe issues one /healthz request to addr.
@@ -157,7 +192,7 @@ func (m *membership) snapshot() map[string]PeerStatus {
 	defer m.mu.Unlock()
 	out := make(map[string]PeerStatus, len(m.peers))
 	for addr, p := range m.peers {
-		out[addr] = PeerStatus{Alive: p.alive, Failures: p.failures, QueueDepth: p.depth, Probes: p.probes}
+		out[addr] = PeerStatus{Alive: p.alive, Failures: p.failures, QueueDepth: p.depth, Probes: p.probes, Quarantined: p.quarantined}
 	}
 	return out
 }
@@ -168,4 +203,7 @@ type PeerStatus struct {
 	Failures   int   `json:"failures"`
 	QueueDepth int   `json:"queue_depth"`
 	Probes     int64 `json:"probes"`
+	// Quarantined: the peer served corrupt bytes and is treated as down
+	// until it passes the threshold of consecutive health probes.
+	Quarantined bool `json:"quarantined,omitempty"`
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -322,9 +323,15 @@ func (n *Node) handleResult(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "miss", http.StatusNotFound)
 		return
 	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	n.ctr.fillsServed.Add(1)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(res)
+	setSum(w.Header(), body)
+	w.Write(body)
 }
 
 // handleOffer installs a peer-computed result into the local cache. A
@@ -336,8 +343,19 @@ func (n *Node) handleOffer(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing key", http.StatusBadRequest)
 		return
 	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "bad offer body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := verifySum(r.Header, body, "offer"); err != nil {
+		n.ctr.corruptDetected.Add(1)
+		n.svc.ReportCorruption(err)
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
 	var res service.Result
-	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+	if err := json.Unmarshal(body, &res); err != nil {
 		http.Error(w, "bad offer body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -374,9 +392,22 @@ type completeMsg struct {
 }
 
 // handleComplete installs a stolen job's remotely computed result (or abort).
+// A corrupt completion is rejected: the job stays lent and the reclaim timer
+// re-enqueues it locally — delayed, never wrong.
 func (n *Node) handleComplete(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "bad completion body", http.StatusBadRequest)
+		return
+	}
+	if err := verifySum(r.Header, body, "complete"); err != nil {
+		n.ctr.corruptDetected.Add(1)
+		n.svc.ReportCorruption(err)
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
 	var msg completeMsg
-	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil || msg.ID == "" {
+	if err := json.Unmarshal(body, &msg); err != nil || msg.ID == "" {
 		http.Error(w, "bad completion body", http.StatusBadRequest)
 		return
 	}
@@ -396,6 +427,17 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := n.standby.apply(&batch); err != nil {
+		if errors.Is(err, diag.ErrCorruption) {
+			// The batch's lines do not match its checksum: wire damage. The
+			// batch is discarded unapplied; 409 makes the shipper open a
+			// fresh epoch with a snapshot, which supersedes the lost lines —
+			// corruption repair rides the existing resync path.
+			n.ctr.shipCorrupt.Add(1)
+			n.ctr.corruptDetected.Add(1)
+			n.svc.ReportCorruption(err)
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
 		if errors.Is(err, errShipGap) {
 			// The stream has a hole (standby restarted, batch lost to a
 			// partition). 409 tells the shipper to resync with a snapshot.

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/diag"
 	"repro/internal/service"
 )
 
@@ -39,6 +40,9 @@ type shipBatch struct {
 	Seq      int64    `json:"seq"` // sequence number of Lines[0] within Epoch
 	Snapshot bool     `json:"snapshot,omitempty"`
 	Lines    [][]byte `json:"lines"`
+	// Sum is the CRC32C over the concatenated Lines; the standby verifies it
+	// before applying. 0 means unchecked (legacy shipper, or empty batch).
+	Sum uint32 `json:"sum,omitempty"`
 }
 
 // maxShipBuffer bounds the unacked line buffer; past it the shipper drops
@@ -131,6 +135,7 @@ func (sh *shipper) flush(ctx context.Context) (int, error) {
 
 // post sends one batch; a 409 maps to errShipGap.
 func (sh *shipper) post(ctx context.Context, batch *shipBatch) error {
+	batch.Sum = sumLines(batch.Lines)
 	body, err := json.Marshal(batch)
 	if err != nil {
 		return err
@@ -211,6 +216,16 @@ func openStandbyStore(path string) (*standbyStore, error) {
 func (st *standbyStore) apply(batch *shipBatch) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// Verify before any byte lands: a damaged batch must not reach the
+	// takeover journal. Sum 0 is a legacy (or empty) batch, unchecked.
+	if batch.Sum != 0 {
+		if got := sumLines(batch.Lines); got != batch.Sum {
+			return &diag.CorruptionError{
+				Source: fmt.Sprintf("ship batch from %s (epoch %d seq %d)", batch.From, batch.Epoch, batch.Seq),
+				Detail: fmt.Sprintf("batch checksum mismatch (declared %08x, computed %08x over %d lines)", batch.Sum, got, len(batch.Lines)),
+			}
+		}
+	}
 	if batch.Snapshot {
 		// New epoch: atomically replace the file with the snapshot.
 		tmp := st.path + ".tmp"

@@ -20,6 +20,13 @@ type counters struct {
 	shipBatches      atomic.Int64
 	shipLines        atomic.Int64
 	shipFails        atomic.Int64
+
+	// Integrity counters: peer payloads that failed their checksum (any
+	// direction), ship batches rejected as corrupt, and peers newly
+	// quarantined for serving corrupt bytes.
+	corruptDetected atomic.Int64
+	shipCorrupt     atomic.Int64
+	peerQuarantines atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the node's cluster counters.
@@ -39,6 +46,12 @@ type Stats struct {
 	ShipBatches      int64 `json:"ship_batches,omitempty"`
 	ShipLines        int64 `json:"ship_lines,omitempty"`
 	ShipFails        int64 `json:"ship_fails,omitempty"`
+
+	// Integrity counters: checksum failures detected on peer payloads, ship
+	// batches rejected as corrupt, and peers quarantined for serving them.
+	CorruptPayloads int64 `json:"corrupt_payloads,omitempty"`
+	ShipCorrupt     int64 `json:"ship_corrupt,omitempty"`
+	PeerQuarantines int64 `json:"peer_quarantines,omitempty"`
 }
 
 // Stats snapshots the cluster counters.
@@ -59,5 +72,8 @@ func (n *Node) Stats() Stats {
 		ShipBatches:      n.ctr.shipBatches.Load(),
 		ShipLines:        n.ctr.shipLines.Load(),
 		ShipFails:        n.ctr.shipFails.Load(),
+		CorruptPayloads:  n.ctr.corruptDetected.Load(),
+		ShipCorrupt:      n.ctr.shipCorrupt.Load(),
+		PeerQuarantines:  n.ctr.peerQuarantines.Load(),
 	}
 }

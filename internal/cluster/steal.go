@@ -108,6 +108,7 @@ func (n *Node) postComplete(ctx context.Context, origin, id string, res *service
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setSum(req.Header, body)
 	resp, err := n.cfg.Client.Do(req)
 	if err != nil {
 		n.ctr.completeFails.Add(1)

@@ -73,6 +73,13 @@ var (
 	// injected fault) kept failing across its whole retry budget. Concrete
 	// reports are *RetryError; the last attempt's error is preserved there.
 	ErrRetriesExhausted = errors.New("retries exhausted: transient failure persisted across every attempt")
+	// ErrCorruption: bytes failed an integrity check — a journal record
+	// whose CRC32C frame does not verify, a peer response whose body
+	// checksum mismatches, a shipped batch whose sum disagrees with its
+	// payload. Corrupt data is never served or replayed; it is quarantined
+	// (journal sidecar, peer quarantine) and the system recovers around it.
+	// Concrete reports are *CorruptionError.
+	ErrCorruption = errors.New("data corruption: integrity check failed")
 )
 
 // ThreadSnapshot is one thread's state at the moment a failure report was
@@ -384,3 +391,25 @@ func (e *RetryError) Unwrap() []error {
 	}
 	return []error{ErrRetriesExhausted}
 }
+
+// CorruptionError reports an integrity-check failure: some bytes — a journal
+// record, a peer response body, a shipped batch — do not match their
+// checksum or framing. Corruption is an environmental fault, not a program
+// fault: the deterministic contract of the data's producer is intact, the
+// copy is damaged, so the correct response is always to discard the copy and
+// recover (re-execute, resync, refetch), never to serve it.
+type CorruptionError struct {
+	// Source names where the damaged bytes came from ("journal", "peer
+	// node-b", "ship batch").
+	Source string
+	// Detail describes the failed check (expected vs observed checksum,
+	// malformed frame, impossible length).
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("%s: %v: %s", e.Source, ErrCorruption, e.Detail)
+}
+
+// Unwrap classifies the error as ErrCorruption.
+func (e *CorruptionError) Unwrap() error { return ErrCorruption }

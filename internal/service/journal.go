@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/vfs"
 )
 
 // The job journal is the service's crash-safety substrate: an append-only
@@ -78,7 +80,8 @@ type journalJob struct {
 type journal struct {
 	mu   sync.Mutex
 	path string
-	f    *os.File
+	fsys vfs.FS
+	f    vfs.File
 
 	// pending buffers batch-fsynced records (completions) not yet written.
 	pending     bytes.Buffer
@@ -100,6 +103,10 @@ type journal struct {
 	chaos  *chaos
 	broken bool
 
+	// quarantined counts the damaged lines the opening scrub pass moved to
+	// the `.quarantine` sidecar — the boot's detected-corruption tally.
+	quarantined int
+
 	// ship, when set, receives a copy of every appended record line — the
 	// journal-shipping feed a cluster standby replays for warm takeover. It
 	// runs under j.mu and must only buffer (see Config.ShipRecord).
@@ -112,53 +119,59 @@ type journal struct {
 // the last good prefix, exactly like a malformed line.
 const maxJournalRecord = 32 << 20
 
-// openJournal opens (creating if needed) the journal at path and replays it.
-// A torn final line — the signature of a crash mid-write — is truncated
-// away, not treated as corruption. Returns the journal and the replayed jobs
-// in first-submission order.
-func openJournal(path string, fsyncEvery, compactEvery int, chaos *chaos, ship func(line []byte)) (*journal, []*journalJob, error) {
+// openJournal opens (creating if needed) the journal at path and replays it
+// through a scrub pass (see scrub.go): intact records replay, damaged
+// interior lines are quarantined to the `.quarantine` sidecar and the log is
+// rewritten without them, and a torn final line — the signature of a crash
+// mid-write — is truncated away. Stale `.compact` and `.quarantine` files
+// left by a crash mid-compaction (or by the previous boot's scrub) are swept
+// first. Returns the journal and the replayed jobs in first-submission order.
+func openJournal(fsys vfs.FS, path string, fsyncEvery, compactEvery int, chaos *chaos, ship func(line []byte)) (*journal, []*journalJob, error) {
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
 	j := &journal{
 		path:         path,
+		fsys:         fsys,
 		fsyncEvery:   fsyncEvery,
 		compactEvery: compactEvery,
 		live:         make(map[string]*journalJob),
 		chaos:        chaos,
 		ship:         ship,
 	}
-	raw, err := os.ReadFile(path)
+	// Startup sweep: a crash between compaction's temp write and its rename
+	// leaves `.compact` behind; the previous boot's scrub leaves its
+	// diagnostic `.quarantine` behind. Both describe a past incarnation.
+	fsys.Remove(path + ".compact")
+	fsys.Remove(path + ".quarantine")
+	raw, err := fsys.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("journal: read %s: %w", path, err)
 	}
-	validLen := 0
-	for len(raw) > 0 {
-		nl := bytes.IndexByte(raw, '\n')
-		if nl < 0 || nl > maxJournalRecord {
-			break // torn final line or an impossibly large record: stop here
-		}
-		line := raw[:nl]
-		raw = raw[nl+1:]
-		var rec journalRecord
-		if len(bytes.TrimSpace(line)) == 0 {
-			validLen += nl + 1
-			continue
-		}
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A malformed interior line means the log was externally damaged;
-			// stop replaying here and truncate to the last good prefix so
-			// future appends stay parseable.
-			break
-		}
-		j.replay(&rec)
+	res := scanJournal(raw)
+	for _, rec := range res.recs {
+		j.replay(rec)
 		j.rawRecords++
-		validLen += nl + 1
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	j.quarantined = len(res.quarantined)
+	if len(res.quarantined) > 0 {
+		// Sidecar is best-effort diagnostics; the rewrite is not — failing
+		// to drop quarantined lines would let damage replay next boot.
+		_ = writeQuarantine(fsys, path, res.quarantined)
+		if err := rewriteLog(fsys, path, res.keep); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: open %s: %w", path, err)
 	}
-	if err := f.Truncate(int64(validLen)); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+	if len(res.quarantined) == 0 && res.tornBytes > 0 {
+		// Torn tail only: cheaper to truncate in place than rewrite.
+		if err := f.Truncate(int64(len(raw) - res.tornBytes)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+		}
 	}
 	if _, err := f.Seek(0, 2); err != nil {
 		f.Close()
@@ -261,14 +274,16 @@ func (j *journal) appendLocked(rec *journalRecord) error {
 		j.broken = true
 		return fmt.Errorf("journal: marshal: %w", err)
 	}
-	j.pending.Write(b)
-	j.pending.WriteByte('\n')
+	line := frameLine(b)
+	j.pending.Write(line)
 	j.pendingRecs++
 	if j.ship != nil {
-		line := make([]byte, len(b)+1)
-		copy(line, b)
-		line[len(b)] = '\n'
-		j.ship(line)
+		// Ship the framed bytes verbatim: the standby's log stays
+		// byte-identical to the primary's append stream, and its own
+		// recovery verifies the same CRCs.
+		shipped := make([]byte, len(line))
+		copy(shipped, line)
+		j.ship(shipped)
 	}
 	return nil
 }
@@ -286,7 +301,7 @@ func (j *journal) snapshotRecords() [][]byte {
 		if err != nil {
 			return
 		}
-		out = append(out, append(b, '\n'))
+		out = append(out, frameLine(b))
 	}
 	for _, id := range j.order {
 		jj := j.live[id]
@@ -335,7 +350,7 @@ func (j *journal) maybeCompactLocked() error {
 		return err
 	}
 	tmpPath := j.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	tmp, err := j.fsys.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		j.broken = true
 		return fmt.Errorf("journal: compact: %w", err)
@@ -347,14 +362,17 @@ func (j *journal) maybeCompactLocked() error {
 		if err != nil {
 			return err
 		}
-		buf.Write(b)
-		buf.WriteByte('\n')
+		buf.Write(frameLine(b))
 		records++
 		return nil
 	}
 	for _, id := range j.order {
 		jj := j.live[id]
-		if err := write(&journalRecord{Type: recSubmitted, ID: jj.id, Req: &jj.req}); err == nil && jj.done {
+		// The submitted record's error must reach the outer check even when
+		// the job is not done — a swallowed marshal failure here would drop
+		// a live job's only record from the compacted log.
+		err := write(&journalRecord{Type: recSubmitted, ID: jj.id, Req: &jj.req})
+		if err == nil && jj.done {
 			if jj.result != nil {
 				err = write(&journalRecord{Type: recCompleted, ID: jj.id, Result: jj.result})
 			} else {
@@ -363,7 +381,7 @@ func (j *journal) maybeCompactLocked() error {
 		}
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			j.fsys.Remove(tmpPath)
 			j.broken = true
 			return fmt.Errorf("journal: compact: %w", err)
 		}
@@ -373,20 +391,22 @@ func (j *journal) maybeCompactLocked() error {
 	}
 	if err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		j.fsys.Remove(tmpPath)
 		j.broken = true
 		return fmt.Errorf("journal: compact write: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		j.fsys.Remove(tmpPath)
 		j.broken = true
 		return fmt.Errorf("journal: compact close: %w", err)
 	}
-	if err := os.Rename(tmpPath, j.path); err != nil {
+	if err := j.fsys.Rename(tmpPath, j.path); err != nil {
+		j.fsys.Remove(tmpPath)
 		j.broken = true
 		return fmt.Errorf("journal: compact rename: %w", err)
 	}
 	old := j.f
-	f, err := os.OpenFile(j.path, os.O_WRONLY, 0o644)
+	f, err := j.fsys.OpenFile(j.path, os.O_WRONLY, 0o644)
 	if err != nil {
 		j.broken = true
 		return fmt.Errorf("journal: reopen after compact: %w", err)

@@ -187,7 +187,7 @@ func TestJournalTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	jn, jobs, err := openJournal(path, 16, 4096, nil, nil)
+	jn, jobs, err := openJournal(nil, path, 16, 4096, nil, nil)
 	if err != nil {
 		t.Fatalf("openJournal: %v", err)
 	}
@@ -208,7 +208,7 @@ func TestJournalTornTail(t *testing.T) {
 	if err := jn.close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	_, jobs2, err := openJournal(path, 16, 4096, nil, nil)
+	_, jobs2, err := openJournal(nil, path, 16, 4096, nil, nil)
 	if err != nil {
 		t.Fatalf("re-open: %v", err)
 	}
@@ -223,7 +223,7 @@ func TestJournalTornTail(t *testing.T) {
 // and shrinks the file.
 func TestJournalCompaction(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "jobs.journal")
-	jn, _, err := openJournal(path, 1, 8, nil, nil)
+	jn, _, err := openJournal(nil, path, 1, 8, nil, nil)
 	if err != nil {
 		t.Fatalf("openJournal: %v", err)
 	}
@@ -257,7 +257,7 @@ func TestJournalCompaction(t *testing.T) {
 		t.Fatalf("compacted log has %d lines, want 6", n)
 	}
 	// Replay after compaction: last finish wins.
-	_, jobs, err := openJournal(path, 1, 8, nil, nil)
+	_, jobs, err := openJournal(nil, path, 1, 8, nil, nil)
 	if err != nil {
 		t.Fatalf("re-open: %v", err)
 	}
@@ -333,16 +333,34 @@ func TestJournalRecoveryCrossCheckDivergence(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
-	// Tamper with the journaled hash — a corrupted or stale log.
+	// Tamper with the journaled hash and re-frame with a valid CRC — the
+	// checksum-passes-but-content-is-stale case (a stale replica, a logical
+	// bug upstream) that only the recovery cross-check can catch. A naive
+	// byte edit would just fail the CRC and be quarantined instead.
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tampered := strings.Replace(string(raw), res.ScheduleHash, "deadbeefdeadbeef", 1)
-	if tampered == string(raw) {
+	var tampered bytes.Buffer
+	replaced := false
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		payload, err := unframeLine(line)
+		if err != nil {
+			t.Fatalf("unframe %q: %v", line, err)
+		}
+		if bytes.Contains(payload, []byte(res.ScheduleHash)) && !replaced {
+			payload = bytes.Replace(payload, []byte(res.ScheduleHash), []byte("deadbeefdeadbeef"), 1)
+			replaced = true
+		}
+		tampered.Write(frameLine(payload))
+	}
+	if !replaced {
 		t.Fatalf("journal does not contain hash %s", res.ScheduleHash)
 	}
-	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+	if err := os.WriteFile(path, tampered.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -399,13 +417,24 @@ func FuzzJournalReplay(f *testing.F) {
 		`{"type":"completed","id":"ghost","result":{"schedule_hash":"00"}}` + "\n"))
 	// A long line of noise (scaled-down stand-in for an oversized record).
 	f.Add(append(bytes.Repeat([]byte{'A'}, 1<<16), '\n'))
+	// CRC-framed records: an intact one, one with a flipped payload byte
+	// (checksum must reject), and a mixed legacy/framed/garbage log.
+	framed := frameLine([]byte(`{"type":"submitted","id":"f1","req":{"source":"module m"}}`))
+	f.Add(append([]byte(nil), framed...))
+	flipped := append([]byte(nil), framed...)
+	flipped[len(flipped)-3] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte(string(framed) +
+		`{"type":"submitted","id":"f2","req":{"source":"module m"}}` + "\n" +
+		"#c1 zzzzzzzz 4 !!!!\n" +
+		"#c1 00000000\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "fuzz.journal")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		jn, jobs, err := openJournal(path, 1, 1<<30, nil, nil)
+		jn, jobs, err := openJournal(nil, path, 1, 1<<30, nil, nil)
 		if err != nil {
 			t.Fatalf("openJournal rejected arbitrary bytes instead of truncating: %v", err)
 		}
@@ -434,7 +463,7 @@ func FuzzJournalReplay(f *testing.F) {
 			t.Fatalf("close after repair: %v", err)
 		}
 		// ...and replay back to exactly the pre-damage jobs plus the probe.
-		_, jobs2, err := openJournal(path, 1, 1<<30, nil, nil)
+		_, jobs2, err := openJournal(nil, path, 1, 1<<30, nil, nil)
 		if err != nil {
 			t.Fatalf("reopen after repair: %v", err)
 		}
@@ -456,11 +485,11 @@ func FuzzJournalReplay(f *testing.F) {
 	})
 }
 
-// TestJournalOversizedRecordTruncated: a line past maxJournalRecord cannot be
-// a record this journal wrote, so replay treats everything from it on as
-// external damage — the valid prefix survives, the monster line is truncated
-// away, and the log keeps working.
-func TestJournalOversizedRecordTruncated(t *testing.T) {
+// TestJournalOversizedRecordQuarantined: a line past maxJournalRecord cannot
+// be a record this journal wrote, so the recovery scrub quarantines it —
+// records on both sides of the monster line survive, and the rewritten log
+// shrinks back to the intact records.
+func TestJournalOversizedRecordQuarantined(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "jobs.journal")
 	var buf bytes.Buffer
 	buf.WriteString(`{"type":"submitted","id":"keep","req":{"source":"module m"}}` + "\n")
@@ -470,19 +499,22 @@ func TestJournalOversizedRecordTruncated(t *testing.T) {
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	jn, jobs, err := openJournal(path, 1, 1<<30, nil, nil)
+	jn, jobs, err := openJournal(nil, path, 1, 1<<30, nil, nil)
 	if err != nil {
 		t.Fatalf("openJournal: %v", err)
 	}
 	defer jn.close()
-	if len(jobs) != 1 || jobs[0].id != "keep" {
-		t.Fatalf("replayed %d jobs %v, want only the pre-damage prefix", len(jobs), jobs)
+	if len(jobs) != 2 || jobs[0].id != "keep" || jobs[1].id != "after" {
+		t.Fatalf("replayed %d jobs %v, want keep and after", len(jobs), jobs)
+	}
+	if jn.quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (the oversized line)", jn.quarantined)
 	}
 	fi, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fi.Size() > int64(maxJournalRecord) {
-		t.Fatalf("oversized line not truncated away: file is %d bytes", fi.Size())
+		t.Fatalf("oversized line not scrubbed away: file is %d bytes", fi.Size())
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/splash"
 	"repro/internal/trace"
+	"repro/internal/vfs"
 )
 
 // Classification sentinels for service-level rejections; wrapped in
@@ -83,6 +84,10 @@ type Config struct {
 	// JournalCompactEvery triggers log compaction once the raw record count
 	// exceeds it and twice the live-job count (default 4096).
 	JournalCompactEvery int
+	// FS is the filesystem the journal writes through (default the real
+	// one). Fault-injection harnesses substitute a vfs implementation that
+	// produces short writes, fsync errors, and ENOSPC.
+	FS vfs.FS
 
 	// DefaultDeadline bounds each job's execution when the request carries
 	// no deadline of its own (0 = unbounded).
@@ -267,11 +272,15 @@ func Open(cfg Config) (*Service, error) {
 
 	var recovered []*job
 	if cfg.JournalPath != "" {
-		jn, replayed, err := openJournal(cfg.JournalPath, cfg.JournalFsyncEvery, cfg.JournalCompactEvery, s.chaos, cfg.ShipRecord)
+		jn, replayed, err := openJournal(cfg.FS, cfg.JournalPath, cfg.JournalFsyncEvery, cfg.JournalCompactEvery, s.chaos, cfg.ShipRecord)
 		if err != nil {
 			return nil, err
 		}
 		s.journal = jn
+		if jn.quarantined > 0 {
+			s.ctr.quarantined.Add(int64(jn.quarantined))
+			s.ctr.corruptions.Add(int64(jn.quarantined))
+		}
 		recovered = s.installRecovered(replayed)
 	}
 
@@ -517,40 +526,42 @@ func (s *Service) Lookup(id string) (*JobView, error) {
 func (s *Service) Snapshot() StatsSnapshot {
 	breakerState, breakerTrips := s.breaker.snapshot()
 	snap := StatsSnapshot{
-		JobsAccepted:      s.ctr.accepted.Load(),
-		JobsCompleted:     s.ctr.completed.Load(),
-		JobsFailed:        s.ctr.failed.Load(),
-		JobsRejected:      s.ctr.rejected.Load(),
-		QueueDepth:        len(s.queue),
-		QueueCap:          cap(s.queue),
-		Workers:           s.cfg.Workers,
-		InstrCacheHits:    s.ctr.instrHits.Load(),
-		InstrCacheMisses:  s.ctr.instrMisses.Load(),
-		InstrCacheSize:    s.instr.len(),
-		ResultCacheHits:   s.ctr.resultHits.Load(),
-		ResultCacheMisses: s.ctr.resultMisses.Load(),
-		ResultCacheSize:   s.results.len(),
-		SelfChecks:        s.ctr.selfChecks.Load(),
-		Divergences:       s.ctr.divergences.Load(),
-		Retries:           s.ctr.retries.Load(),
-		Timeouts:          s.ctr.timeouts.Load(),
-		InflightBytes:     s.inflight.Load(),
-		MaxInflightBytes:  s.cfg.MaxInflightBytes,
-		JournalEnabled:    s.journal != nil,
-		JournalDegraded:   s.degraded.Load(),
-		JournalErrors:     s.ctr.journalErrors.Load(),
-		RecoveredJobs:     s.ctr.recovered.Load(),
-		RecoveryChecks:    s.ctr.recoverChecks.Load(),
-		BreakerState:      breakerState,
-		BreakerTrips:      breakerTrips,
-		PeerFills:         s.ctr.peerFills.Load(),
-		PeerFillRejects:   s.ctr.peerFillRejects.Load(),
-		PeerFillChecks:    s.ctr.peerChecks.Load(),
-		PeerServes:        s.ctr.peerServes.Load(),
-		PeerOffers:        s.ctr.offers.Load(),
-		JobsStolen:        s.ctr.stolen.Load(),
-		StealReclaims:     s.ctr.stealReclaims.Load(),
-		RecentFailures:    s.ctr.failures.snapshot(),
+		JobsAccepted:       s.ctr.accepted.Load(),
+		JobsCompleted:      s.ctr.completed.Load(),
+		JobsFailed:         s.ctr.failed.Load(),
+		JobsRejected:       s.ctr.rejected.Load(),
+		QueueDepth:         len(s.queue),
+		QueueCap:           cap(s.queue),
+		Workers:            s.cfg.Workers,
+		InstrCacheHits:     s.ctr.instrHits.Load(),
+		InstrCacheMisses:   s.ctr.instrMisses.Load(),
+		InstrCacheSize:     s.instr.len(),
+		ResultCacheHits:    s.ctr.resultHits.Load(),
+		ResultCacheMisses:  s.ctr.resultMisses.Load(),
+		ResultCacheSize:    s.results.len(),
+		SelfChecks:         s.ctr.selfChecks.Load(),
+		Divergences:        s.ctr.divergences.Load(),
+		Retries:            s.ctr.retries.Load(),
+		Timeouts:           s.ctr.timeouts.Load(),
+		InflightBytes:      s.inflight.Load(),
+		MaxInflightBytes:   s.cfg.MaxInflightBytes,
+		JournalEnabled:     s.journal != nil,
+		JournalDegraded:    s.degraded.Load(),
+		JournalErrors:      s.ctr.journalErrors.Load(),
+		RecoveredJobs:      s.ctr.recovered.Load(),
+		RecoveryChecks:     s.ctr.recoverChecks.Load(),
+		JournalQuarantined: s.ctr.quarantined.Load(),
+		CorruptionEvents:   s.ctr.corruptions.Load(),
+		BreakerState:       breakerState,
+		BreakerTrips:       breakerTrips,
+		PeerFills:          s.ctr.peerFills.Load(),
+		PeerFillRejects:    s.ctr.peerFillRejects.Load(),
+		PeerFillChecks:     s.ctr.peerChecks.Load(),
+		PeerServes:         s.ctr.peerServes.Load(),
+		PeerOffers:         s.ctr.offers.Load(),
+		JobsStolen:         s.ctr.stolen.Load(),
+		StealReclaims:      s.ctr.stealReclaims.Load(),
+		RecentFailures:     s.ctr.failures.snapshot(),
 		Stages: map[string]StageStats{
 			"parse":      s.ctr.parse.snapshot(),
 			"instrument": s.ctr.instrument.snapshot(),
@@ -617,6 +628,20 @@ func (s *Service) Kill() {
 	s.wg.Wait()
 }
 
+// ReportCorruption records an externally detected integrity failure — the
+// cluster layer calls it when a peer response or shipped batch fails its
+// checksum. Corruption feeds the same admission circuit breaker divergences
+// do: both mean bytes the system would have served cannot be trusted, and
+// enough of them in a row should stop admission rather than keep racing the
+// fault.
+func (s *Service) ReportCorruption(err error) {
+	s.ctr.corruptions.Add(1)
+	if err != nil {
+		s.ctr.failures.record("", "corruption", err.Error())
+	}
+	s.breaker.onDivergence()
+}
+
 // Classify maps a job error to its report family for monitoring and HTTP
 // responses.
 func Classify(err error) string {
@@ -629,6 +654,8 @@ func Classify(err error) string {
 		return "race"
 	case errors.Is(err, diag.ErrDivergence):
 		return "divergence"
+	case errors.Is(err, diag.ErrCorruption):
+		return "corruption"
 	case errors.Is(err, diag.ErrRetriesExhausted):
 		return "retries_exhausted"
 	case errors.Is(err, diag.ErrDeadline):
@@ -1113,4 +1140,3 @@ func (s *Service) overheadRow(ie *instrEntry, req *Request, ent *resultEntry, la
 	ent.overhead = row
 	return row, nil
 }
-

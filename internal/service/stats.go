@@ -30,6 +30,12 @@ type counters struct {
 	recovered     atomic.Int64
 	recoverChecks atomic.Int64
 
+	// Integrity counters: journal lines quarantined by the recovery scrub,
+	// and corruption events detected anywhere (quarantined records, corrupt
+	// peer responses, bad ship batches).
+	quarantined atomic.Int64
+	corruptions atomic.Int64
+
 	// Cluster counters: peer cache fills accepted / rejected as inconsistent
 	// / cross-checked, fill requests served to peers, offers installed, jobs
 	// lent to work-stealers, and lent jobs reclaimed.
@@ -200,6 +206,14 @@ type StatsSnapshot struct {
 	JournalErrors   int64 `json:"journal_errors"`
 	RecoveredJobs   int64 `json:"recovered_jobs"`
 	RecoveryChecks  int64 `json:"recovery_checks"`
+
+	// Integrity counters: journal lines the recovery scrub quarantined to
+	// the `.quarantine` sidecar this boot, and corruption events detected
+	// anywhere (quarantined records, corrupt peer payloads, bad ship
+	// batches). Corrupt bytes are recovered around, never served — these
+	// counters are how operators see that it happened.
+	JournalQuarantined int64 `json:"journal_quarantined,omitempty"`
+	CorruptionEvents   int64 `json:"corruption_events,omitempty"`
 
 	// Circuit-breaker state ("closed", "open", "half-open") and lifetime
 	// trip count.
