@@ -1,7 +1,7 @@
 GO ?= go
 TIMEOUT ?= 10m
 
-.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke cluster-smoke nemesis-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke cluster-smoke nemesis-smoke workload-smoke
 
 # check is what CI runs: build, vet, full test suite under the race detector.
 check: build vet race
@@ -61,6 +61,16 @@ chaos-smoke:
 # served. The full ≥20-schedule properties run in `make test`.
 nemesis-smoke:
 	$(GO) test -run 'TestNemesis|TestJournalInteriorCorruption|TestScrubJournal|TestLoopNet|TestShipBatchCorruption|TestPeerQuarantine|TestPlan|TestEngine|TestFaultFS|TestScar' -short -count=1 -timeout $(TIMEOUT) ./internal/service/ ./internal/cluster/ ./internal/nemesis/
+
+# workload-smoke proves the seeded traffic plane: vet plus the workload and
+# idiom suites under the race detector (arrival-process determinism, trace
+# round-trip/fuzz-corpus, sync-idiom golden determinism, the cross-topology
+# zero-loss property, and bursty admission-control determinism), then a quick
+# detload matrix sweep whose table must be byte-identical across -j values.
+workload-smoke:
+	$(GO) vet ./internal/workload/ ./internal/irgen/ ./cmd/detload/
+	$(GO) test -race -short -count=1 -timeout $(TIMEOUT) ./internal/workload/ ./internal/irgen/
+	$(GO) run ./cmd/detload -smoke -j 4
 
 # cluster-smoke proves the shard group end to end over real loopback HTTP:
 # boot a 3-node cluster (each node with its own journal), sweep jobs across

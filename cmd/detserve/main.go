@@ -83,6 +83,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -115,22 +116,61 @@ func main() {
 		clusterSmoke = flag.Bool("cluster-smoke", false, "run the 3-node kill-one-mid-sweep smoke test and exit")
 	)
 	flag.Parse()
-	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: detserve [flags]")
-		flag.Usage()
+	// Validate flags up front with typed, per-flag messages (the detbench
+	// pattern): a bad invocation gets a short precise complaint and exit 2,
+	// never a mid-startup error with a stack of context.
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "detserve: "+format+"\n", args...)
 		os.Exit(2)
 	}
-	if *workers < 0 || *queue < 0 || *instrCache < 0 || *resultCache < 0 {
-		fmt.Fprintln(os.Stderr, "detserve: -workers, -queue, -instr-cache, -result-cache must be >= 0")
-		os.Exit(2)
+	if flag.NArg() != 0 {
+		usage("unexpected arguments %v (detserve takes flags only)", flag.Args())
+	}
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"-workers", *workers}, {"-queue", *queue},
+		{"-instr-cache", *instrCache}, {"-result-cache", *resultCache},
+		{"-shards", *shards}, {"-max-retries", *maxRetries},
+	} {
+		if f.value < 0 {
+			usage("%s must be >= 0 (got %d)", f.name, f.value)
+		}
 	}
 	if *selfCheck < 0 || *selfCheck > 1 {
-		fmt.Fprintln(os.Stderr, "detserve: -self-check must be in [0,1]")
-		os.Exit(2)
+		usage("-self-check must be in [0,1] (got %g)", *selfCheck)
 	}
-	if *maxRetries < 0 || *deadlineF < 0 {
-		fmt.Fprintln(os.Stderr, "detserve: -max-retries and -deadline must be >= 0")
-		os.Exit(2)
+	if *deadlineF < 0 {
+		usage("-deadline must be >= 0 (got %v)", *deadlineF)
+	}
+	// Journal-family paths fail fast here, not after the listener is up: a
+	// typo'd directory must never let the server run thinking it is durable.
+	for _, f := range []struct{ name, path string }{
+		{"-journal", *journal}, {"-ship-path", *shipPath},
+	} {
+		if f.path == "" {
+			continue
+		}
+		dir := filepath.Dir(f.path)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			usage("%s %q: parent directory %q does not exist", f.name, f.path, dir)
+		}
+		if st, err := os.Stat(f.path); err == nil && st.IsDir() {
+			usage("%s %q is a directory, want a file path", f.name, f.path)
+		}
+	}
+	if *journal != "" && *shipPath != "" && *journal == *shipPath {
+		usage("-journal and -ship-path must be different files (both %q)", *journal)
+	}
+	if *standby != "" && *journal == "" {
+		usage("-standby ships the job journal and requires -journal PATH")
+	}
+	if (*scrubF || *verifyF) && *journal == "" {
+		usage("-scrub and -verify-journal require -journal PATH")
+	}
+	if *smoke && *clusterSmoke {
+		usage("-smoke and -cluster-smoke are mutually exclusive")
 	}
 
 	cfg := service.Config{
@@ -148,10 +188,6 @@ func main() {
 	}
 
 	if *scrubF || *verifyF {
-		if *journal == "" {
-			fmt.Fprintln(os.Stderr, "detserve: -scrub and -verify-journal require -journal PATH")
-			os.Exit(2)
-		}
 		rep, err := service.ScrubJournal(nil, *journal, *scrubF)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "detserve: scrub:", err)

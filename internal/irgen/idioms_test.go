@@ -1,0 +1,215 @@
+package irgen
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+func TestIdiomGenerationDeterministic(t *testing.T) {
+	for _, id := range Idioms() {
+		a := GenerateIdiom(id, 7, Default()).String()
+		b := GenerateIdiom(id, 7, Default()).String()
+		if a != b {
+			t.Fatalf("%s: same seed must generate the same program", id)
+		}
+		c := GenerateIdiom(id, 8, Default()).String()
+		if a == c {
+			t.Fatalf("%s: different seeds should differ", id)
+		}
+	}
+}
+
+// TestIdiomsRoundTripText: the workload plane submits idiom programs to the
+// service as textual IR, so every idiom module must survive a String→Parse
+// round trip unchanged.
+func TestIdiomsRoundTripText(t *testing.T) {
+	for _, id := range Idioms() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			m := GenerateIdiom(id, seed, Default())
+			text := m.String()
+			m2, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("%s seed %d: parse: %v", id, seed, err)
+			}
+			if got := m2.String(); got != text {
+				t.Fatalf("%s seed %d: round trip changed the program", id, seed)
+			}
+		}
+	}
+}
+
+// idiomRun executes one idiom module under the given policy and returns the
+// engine stats, per-thread outputs, and error.
+func idiomRun(t *testing.T, m *ir.Module, threads int, policy sim.LockPolicy, ref bool) (*sim.Stats, [][]int64, error) {
+	t.Helper()
+	_, ths, err := interp.NewMachine(interp.Config{Module: m, Threads: threads})
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	eng := sim.New(sim.Config{
+		Policy: policy, NumLocks: m.NumLocks, NumBarriers: m.NumBars,
+		RecordTrace: true, Reference: ref,
+	}, interp.Programs(ths))
+	stats, err := eng.Run()
+	var outs [][]int64
+	for _, th := range ths {
+		outs = append(outs, append([]int64(nil), th.Output...))
+	}
+	return stats, outs, err
+}
+
+// TestIdiomsTerminateNoDeadlock: every idiom, over a spread of seeds and
+// thread counts (including 1), runs to completion under the deterministic
+// policy — spin loops make progress and no lock-order or barrier deadlock
+// exists (a deadlock would surface as a structured diag.DeadlockError).
+func TestIdiomsTerminateNoDeadlock(t *testing.T) {
+	threads := []int{1, 2, 4, 8}
+	seeds := 6
+	if testing.Short() {
+		threads, seeds = []int{1, 4}, 3
+	}
+	for _, id := range Idioms() {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			m := GenerateIdiom(id, seed, Default())
+			for _, n := range threads {
+				_, _, err := idiomRun(t, m.Clone(), n, sim.PolicyDet, false)
+				if err != nil {
+					var dl *diag.DeadlockError
+					if errors.As(err, &dl) {
+						t.Fatalf("%s seed %d threads %d: deadlock:\n%s", id, seed, n, dl.Error())
+					}
+					t.Fatalf("%s seed %d threads %d: %v", id, seed, n, err)
+				}
+			}
+		}
+	}
+}
+
+// TestIdiomsGoldenDeterminism: for every idiom, the instrumented program's
+// deterministic schedule is byte-identical across repeated runs AND between
+// the indexed-heap scheduler and the O(threads) reference oracle, and the
+// per-thread outputs agree everywhere.
+func TestIdiomsGoldenDeterminism(t *testing.T) {
+	seeds := 5
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, id := range Idioms() {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			ref := GenerateIdiom(id, seed, Default())
+			opt := core.OptAll
+			opt.Roots = []string{"main"}
+			inst := ref.Clone()
+			if _, err := core.Instrument(inst, nil, nil, opt); err != nil {
+				t.Fatalf("%s seed %d: instrument: %v", id, seed, err)
+			}
+			type runOut struct {
+				trace []sim.Acquisition
+				outs  [][]int64
+			}
+			do := func(oracle bool) runOut {
+				stats, outs, err := idiomRun(t, inst.Clone(), 4, sim.PolicyDet, oracle)
+				if err != nil {
+					t.Fatalf("%s seed %d (ref=%v): %v", id, seed, oracle, err)
+				}
+				return runOut{trace: stats.Trace, outs: outs}
+			}
+			a, b, c := do(false), do(false), do(true)
+			for name, other := range map[string]runOut{"rerun": b, "reference-oracle": c} {
+				if len(other.trace) != len(a.trace) {
+					t.Fatalf("%s seed %d: %s schedule length %d != %d", id, seed, name, len(other.trace), len(a.trace))
+				}
+				for i := range a.trace {
+					if a.trace[i] != other.trace[i] {
+						t.Fatalf("%s seed %d: %s schedule diverges at %d: %+v vs %+v",
+							id, seed, name, i, a.trace[i], other.trace[i])
+					}
+				}
+				for tid := range a.outs {
+					if len(other.outs[tid]) != len(a.outs[tid]) {
+						t.Fatalf("%s seed %d: %s thread %d output length differs", id, seed, name, tid)
+					}
+					for i := range a.outs[tid] {
+						if a.outs[tid][i] != other.outs[tid][i] {
+							t.Fatalf("%s seed %d: %s thread %d output[%d] = %d, want %d",
+								id, seed, name, tid, i, other.outs[tid][i], a.outs[tid][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIdiomsRaceFree: every idiom passes the deterministic vector-clock race
+// detector — each shared access is ordered by the idiom's own locks and
+// barriers. This is the property that makes idiom outputs reproducible at
+// all: a racy idiom would make workload cores schedule-sensitive.
+func TestIdiomsRaceFree(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, id := range Idioms() {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			m := GenerateIdiom(id, seed, Default())
+			for _, n := range []int{2, 5} {
+				mach, ths, err := interp.NewMachine(interp.Config{
+					Module:  m.Clone(),
+					Threads: n,
+					Race:    &interp.RaceConfig{Policy: interp.RaceFailFast},
+				})
+				if err != nil {
+					t.Fatalf("%s seed %d: machine: %v", id, seed, err)
+				}
+				eng := sim.New(sim.Config{
+					Policy: sim.PolicyDet, NumLocks: m.NumLocks, NumBarriers: m.NumBars,
+					Observer: mach.Observer(),
+				}, interp.Programs(ths))
+				if _, err := eng.Run(); err != nil {
+					if errors.Is(err, diag.ErrRace) {
+						t.Fatalf("%s seed %d threads %d: data race:\n%v", id, seed, n, err)
+					}
+					t.Fatalf("%s seed %d threads %d: %v", id, seed, n, err)
+				}
+				if races := mach.Races(); len(races) != 0 {
+					t.Fatalf("%s seed %d threads %d: %d races recorded", id, seed, n, len(races))
+				}
+			}
+		}
+	}
+}
+
+// TestIdiomsSingleThreadValues: with one thread the idioms are sequential
+// programs; their outputs must be stable across runs (golden anchor for the
+// workload plane's payload fingerprints).
+func TestIdiomsSingleThreadValues(t *testing.T) {
+	for _, id := range Idioms() {
+		m := GenerateIdiom(id, 1, Default())
+		_, outA, err := idiomRun(t, m.Clone(), 1, sim.PolicyDet, false)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		_, outB, err := idiomRun(t, m.Clone(), 1, sim.PolicyDet, false)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(outA) != 1 || len(outA[0]) == 0 {
+			t.Fatalf("%s: expected single-thread output, got %v", id, outA)
+		}
+		if len(outA[0]) != len(outB[0]) {
+			t.Fatalf("%s: output length unstable", id)
+		}
+		for i := range outA[0] {
+			if outA[0][i] != outB[0][i] {
+				t.Fatalf("%s: output[%d] unstable: %d vs %d", id, i, outA[0][i], outB[0][i])
+			}
+		}
+	}
+}

@@ -388,10 +388,12 @@ func (s *Service) Submit(req Request) (string, error) {
 func (s *Service) submit(clientCtx context.Context, req Request) (string, error) {
 	if err := normalize(&req); err != nil {
 		s.ctr.rejected.Add(1)
+		s.ctr.rejects.bump(Classify(err))
 		return "", err
 	}
 	misuse := func(kind error, detail string) (string, error) {
 		s.ctr.rejected.Add(1)
+		s.ctr.rejects.bump(Classify(kind))
 		return "", &diag.MisuseError{Op: "service.Submit", ThreadID: -1, Kind: kind, Detail: detail}
 	}
 	// Admission control, cheapest checks first; all run before any journal
@@ -440,6 +442,11 @@ func (s *Service) submit(clientCtx context.Context, req Request) (string, error)
 	select {
 	case s.queue <- j:
 		s.inflight.Add(bytes)
+		// High-water update under s.mu: depth can only grow at this one
+		// site, so a load/compare/store pair cannot lose a larger value.
+		if d := int64(len(s.queue)); d > s.ctr.queueHighWater.Load() {
+			s.ctr.queueHighWater.Store(d)
+		}
 		s.mu.Unlock()
 		s.ctr.accepted.Add(1)
 		return id, nil
@@ -533,6 +540,8 @@ func (s *Service) Snapshot() StatsSnapshot {
 		QueueDepth:         len(s.queue),
 		QueueCap:           cap(s.queue),
 		Workers:            s.cfg.Workers,
+		QueueHighWater:     int(s.ctr.queueHighWater.Load()),
+		RejectByCause:      s.ctr.rejects.snapshot(),
 		InstrCacheHits:     s.ctr.instrHits.Load(),
 		InstrCacheMisses:   s.ctr.instrMisses.Load(),
 		InstrCacheSize:     s.instr.len(),

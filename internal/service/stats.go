@@ -16,6 +16,13 @@ type counters struct {
 	failed    atomic.Int64
 	rejected  atomic.Int64
 
+	// rejects breaks the rejected total down by admission cause, and
+	// queueHighWater tracks the deepest backlog ever observed — the two
+	// signals workload runs assert admission behavior against without
+	// scraping logs.
+	rejects        rejectCounters
+	queueHighWater atomic.Int64
+
 	instrHits    atomic.Int64
 	instrMisses  atomic.Int64
 	resultHits   atomic.Int64
@@ -53,6 +60,56 @@ type counters struct {
 	overhead   stageAgg
 
 	failures failureRing
+}
+
+// rejectCounters counts rejections per admission cause (Classify class).
+// Causes are a small closed set, so fixed atomics keep the hot rejection
+// path allocation- and lock-free.
+type rejectCounters struct {
+	queueFull   atomic.Int64
+	overloaded  atomic.Int64
+	circuitOpen atomic.Int64
+	closed      atomic.Int64
+	misuse      atomic.Int64
+}
+
+// bump increments the counter for one Classify class.
+func (rc *rejectCounters) bump(class string) {
+	switch class {
+	case "queue_full":
+		rc.queueFull.Add(1)
+	case "overloaded":
+		rc.overloaded.Add(1)
+	case "circuit_open":
+		rc.circuitOpen.Add(1)
+	case "closed":
+		rc.closed.Add(1)
+	default:
+		rc.misuse.Add(1)
+	}
+}
+
+// snapshot returns the nonzero per-cause counts.
+func (rc *rejectCounters) snapshot() map[string]int64 {
+	out := map[string]int64{}
+	for _, e := range []struct {
+		class string
+		c     *atomic.Int64
+	}{
+		{"queue_full", &rc.queueFull},
+		{"overloaded", &rc.overloaded},
+		{"circuit_open", &rc.circuitOpen},
+		{"closed", &rc.closed},
+		{"misuse", &rc.misuse},
+	} {
+		if v := e.c.Load(); v != 0 {
+			out[e.class] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // ringSamples bounds every sample-holding accumulator: a long-running
@@ -170,6 +227,12 @@ type StatsSnapshot struct {
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
 	Workers    int `json:"workers"`
+
+	// QueueHighWater is the deepest queue backlog ever observed;
+	// RejectByCause breaks JobsRejected down by admission cause
+	// ("queue_full", "overloaded", "circuit_open", "closed", "misuse").
+	QueueHighWater int              `json:"queue_high_water"`
+	RejectByCause  map[string]int64 `json:"reject_by_cause,omitempty"`
 
 	InstrCacheHits    int64 `json:"instr_cache_hits"`
 	InstrCacheMisses  int64 `json:"instr_cache_misses"`

@@ -1,0 +1,404 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// Nemesis names the fault schedule applied to the cluster transport while a
+// scenario runs. Faults are planned from the dedicated nemesis stream and
+// applied at deterministic submission indices; they degrade links (peer
+// fills fall back to local recompute) but must never change deterministic
+// cores or lose accepted jobs.
+type Nemesis string
+
+const (
+	// NemesisNone leaves the transport healthy.
+	NemesisNone Nemesis = "none"
+	// NemesisFlaky drops a seeded fraction of messages on planned links.
+	NemesisFlaky Nemesis = "flaky"
+	// NemesisSlow adds latency to planned links.
+	NemesisSlow Nemesis = "slow"
+)
+
+// RunConfig parameterizes one scenario run.
+type RunConfig struct {
+	// Seed roots every stream of the run.
+	Seed int64
+	// Arrival shapes the timeline.
+	Arrival ArrivalConfig
+	// Mix shapes the program pool.
+	Mix MixSpec
+	// Nodes is the cluster size; 1 runs a bare service, >1 a LoopNet
+	// cluster with background loops disabled.
+	Nodes int
+	// Window bounds in-flight jobs (default 32, clamped to QueueDepth so a
+	// paced-out run can never be queue-rejected).
+	Window int
+	// Workers / QueueDepth configure each node's service (defaults 4 / 256).
+	Workers, QueueDepth int
+	// RemoteEveryN routes every Nth cluster submission through a non-owner
+	// coordinator, exercising the peer-fill path (default 4; 0 disables).
+	RemoteEveryN int
+	// Nemesis selects the transport fault schedule (cluster mode only).
+	Nemesis Nemesis
+	// Pace sleeps to honor arrival offsets instead of submitting
+	// immediately. Off by default: pacing only changes the measured annex,
+	// never the deterministic core.
+	Pace bool
+}
+
+// Outcome is one scenario's result: a deterministic core (everything above
+// the annex line — byte-identical for a given RunConfig) plus a measured
+// annex of wall-clock quantities that legitimately vary run to run.
+type Outcome struct {
+	Shape Shape  `json:"shape"`
+	Mix   string `json:"mix"`
+	Nodes int    `json:"nodes"`
+
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Rejected  int `json:"rejected"`
+
+	// DistinctPrograms is the pool size actually drawn; CoreFingerprint is
+	// an FNV-64a digest over the sorted program→deterministic-core pairs.
+	// Two runs of the same config — or the same workload on a different
+	// topology — must produce identical fingerprints.
+	DistinctPrograms int    `json:"distinct_programs"`
+	CoreFingerprint  string `json:"core_fingerprint"`
+	// TraceFingerprint digests the arrival timeline (seq/at/client).
+	TraceFingerprint string `json:"trace_fingerprint"`
+
+	// Measured annex — excluded from determinism comparisons.
+	ElapsedMS     int64   `json:"elapsed_ms"`
+	ThroughputJPS float64 `json:"throughput_jps"`
+	P50US         int64   `json:"p50_us,omitempty"`
+	P95US         int64   `json:"p95_us,omitempty"`
+
+	// cores maps program name to its deterministic core string.
+	cores map[string]string
+}
+
+// Cores exposes the per-program deterministic cores (for cross-topology
+// byte-equivalence assertions).
+func (o *Outcome) Cores() map[string]string {
+	out := make(map[string]string, len(o.cores))
+	for k, v := range o.cores {
+		out[k] = v
+	}
+	return out
+}
+
+// isRejection reports whether an error class is an admission-control
+// rejection (the 429/503 family) rather than an execution failure.
+func isRejection(class string) bool {
+	switch class {
+	case "queue_full", "overloaded", "circuit_open":
+		return true
+	}
+	return false
+}
+
+// coreOf projects a result onto its deterministic core: the fields the weak
+// determinism contract fixes. Serving metadata (cache flags, latency) is
+// excluded.
+func coreOf(r *service.Result) string {
+	return fmt.Sprintf("%s/%d/%d/%d/%d/%d",
+		r.ScheduleHash, r.ScheduleLen, r.Cycles, r.WaitCycles, r.Acquisitions, r.ClockUpdates)
+}
+
+// TimelineFingerprint digests a timeline to a compact hex string.
+func TimelineFingerprint(evs []Arrival) string {
+	h := fnv.New64a()
+	for _, e := range evs {
+		fmt.Fprintf(h, "%d %d %d\n", e.Seq, e.AtUS, e.Client)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// coreFingerprint digests the sorted program→core map.
+func coreFingerprint(cores map[string]string) string {
+	names := make([]string, 0, len(cores))
+	for n := range cores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, n := range names {
+		fmt.Fprintf(h, "%s %s\n", n, cores[n])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func (c *RunConfig) withDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Window > c.QueueDepth {
+		c.Window = c.QueueDepth
+	}
+	if c.RemoteEveryN == 0 {
+		c.RemoteEveryN = 4
+	}
+	if c.Nemesis == "" {
+		c.Nemesis = NemesisNone
+	}
+}
+
+// Run executes one scenario: synthesize the pool, generate the timeline,
+// push it through the target topology under the in-flight window, and fold
+// the outcomes. Every accepted job must finish — the returned Outcome
+// counts let callers assert Submitted == Completed + Failed + Rejected.
+func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
+	cfg.withDefaults()
+	rng := NewPartitionedRNG(cfg.Seed)
+	mix, err := Synthesize(rng, cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	evs, err := Timeline(rng, cfg.Arrival)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{
+		Shape:            cfg.Arrival.Shape,
+		Mix:              cfg.Mix.Name,
+		Nodes:            cfg.Nodes,
+		DistinctPrograms: len(mix.Progs),
+		TraceFingerprint: TimelineFingerprint(evs),
+		cores:            map[string]string{},
+	}
+
+	// Pre-draw every arrival's program from the mix stream so payload
+	// choice is sealed before any concurrency starts.
+	picks := make([]Program, len(evs))
+	for i := range evs {
+		picks[i] = mix.Pick(rng.Stream(ClassMix))
+	}
+
+	var submit func(ctx context.Context, seq int, req service.Request) (*service.Result, error)
+	var shutdown func() error
+	if cfg.Nodes == 1 {
+		svc := service.New(service.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth})
+		submit = func(ctx context.Context, _ int, req service.Request) (*service.Result, error) {
+			return svc.Do(ctx, req)
+		}
+		shutdown = func() error {
+			cctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			return svc.Close(cctx)
+		}
+	} else {
+		cl, err := openCluster(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		submit = cl.submit
+		shutdown = cl.close
+	}
+
+	type done struct {
+		res *service.Result
+		err error
+		us  int64
+	}
+	results := make([]done, len(evs))
+	var (
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, cfg.Window)
+		client = map[int]chan struct{}{} // closed-loop per-client serialization
+	)
+	if cfg.Arrival.Shape == ShapeClosed {
+		for _, e := range evs {
+			if _, ok := client[e.Client]; !ok && e.Client >= 0 {
+				ch := make(chan struct{}, 1)
+				ch <- struct{}{}
+				client[e.Client] = ch
+			}
+		}
+	}
+	start := time.Now()
+	for i := range evs {
+		ev, prog := evs[i], picks[i]
+		if cfg.Pace {
+			if until := start.Add(time.Duration(ev.AtUS) * time.Microsecond); time.Until(until) > 0 {
+				time.Sleep(time.Until(until))
+			}
+		}
+		var clientCh chan struct{}
+		if ch, ok := client[ev.Client]; ok {
+			clientCh = ch
+			<-ch // wait for this client's previous job
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(seq int, prog Program) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := submit(ctx, seq, service.Request{
+				Source: prog.Source, Entry: "main", Threads: prog.Threads,
+			})
+			results[seq] = done{res: res, err: err, us: time.Since(t0).Microseconds()}
+			if clientCh != nil {
+				clientCh <- struct{}{}
+			}
+			<-sem
+		}(ev.Seq, prog)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := shutdown(); err != nil {
+		return nil, err
+	}
+
+	// Fold outcomes in seq order: the aggregation is order-insensitive, but
+	// a fixed fold order keeps any future extension deterministic for free.
+	var lats []int64
+	for seq := range results {
+		d := results[seq]
+		out.Submitted++
+		switch {
+		case d.err != nil && isRejection(service.Classify(d.err)):
+			out.Rejected++
+		case d.err != nil:
+			out.Failed++
+		default:
+			out.Completed++
+			lats = append(lats, d.us)
+			name := picks[seq].Name
+			core := coreOf(d.res)
+			if prev, ok := out.cores[name]; ok && prev != core {
+				return nil, fmt.Errorf("workload: determinism violation: program %s produced cores %s and %s", name, prev, core)
+			}
+			out.cores[name] = core
+		}
+	}
+	out.CoreFingerprint = coreFingerprint(out.cores)
+	out.ElapsedMS = elapsed.Milliseconds()
+	if s := elapsed.Seconds(); s > 0 {
+		out.ThroughputJPS = float64(out.Completed) / s
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		out.P50US = lats[len(lats)/2]
+		out.P95US = lats[(len(lats)*95)/100]
+	}
+	return out, nil
+}
+
+// runCluster holds the LoopNet topology for one scenario.
+type runCluster struct {
+	net   *cluster.LoopNet
+	nodes []*cluster.Node
+	addrs []string
+	cfg   RunConfig
+}
+
+// openCluster builds an n-node LoopNet cluster with background loops off
+// (the driver's submissions are the only traffic) and applies the nemesis
+// schedule's initial link state.
+func openCluster(cfg RunConfig, rng *PartitionedRNG) (*runCluster, error) {
+	net := cluster.NewLoopNet()
+	addrs := make([]string, cfg.Nodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%d", i)
+	}
+	cl := &runCluster{net: net, addrs: addrs, cfg: cfg}
+	for _, self := range addrs {
+		n, err := cluster.Open(cluster.Config{
+			Self:          self,
+			Peers:         addrs,
+			Client:        net.Client(self),
+			ProbeInterval: -1,
+			StealInterval: -1,
+			ShipInterval:  -1,
+			ProbeTimeout:  time.Second,
+			FillTimeout:   2 * time.Second,
+			FailThreshold: 2,
+			Service:       service.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth},
+		})
+		if err != nil {
+			cl.close()
+			return nil, err
+		}
+		net.Register(self, n.Handler())
+		cl.nodes = append(cl.nodes, n)
+	}
+	// Nemesis link state, planned from the dedicated stream: every ordered
+	// pair of distinct nodes is independently afflicted with probability
+	// 1/2. Faulty links only slow or drop transport messages — the service
+	// recomputes locally on peer-fill failure, so cores stay identical.
+	r := rng.Stream("nemesis")
+	switch cfg.Nemesis {
+	case NemesisFlaky:
+		for _, from := range addrs {
+			for _, to := range addrs {
+				if from != to && r.IntN(2) == 0 {
+					net.Flake(from, to, 0.5, int64(r.Next()%(1<<31)))
+				}
+			}
+		}
+	case NemesisSlow:
+		for _, from := range addrs {
+			for _, to := range addrs {
+				if from != to && r.IntN(2) == 0 {
+					net.SetLatency(from, to, time.Duration(1+r.IntN(3))*time.Millisecond)
+				}
+			}
+		}
+	}
+	return cl, nil
+}
+
+// submit routes one request: to its owner node normally, and through a
+// deterministic non-owner coordinator every RemoteEveryN submissions so the
+// peer-fill path sees traffic.
+func (c *runCluster) submit(ctx context.Context, seq int, req service.Request) (*service.Result, error) {
+	key, err := c.nodes[0].Service().KeyFor(req)
+	if err != nil {
+		return nil, err
+	}
+	owner := c.nodes[0].Owner(key)
+	idx := 0
+	for i, a := range c.addrs {
+		if a == owner {
+			idx = i
+			break
+		}
+	}
+	if c.cfg.RemoteEveryN > 0 && len(c.nodes) > 1 && seq%c.cfg.RemoteEveryN == 0 {
+		idx = (idx + 1) % len(c.nodes)
+	}
+	return c.nodes[idx].Service().Do(ctx, req)
+}
+
+func (c *runCluster) close() error {
+	var first error
+	for _, n := range c.nodes {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := n.Close(ctx)
+		cancel()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

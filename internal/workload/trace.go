@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace errors. ReadTrace wraps each in a *TraceError carrying the line
+// number, so callers can both errors.Is on the family and report precisely.
+var (
+	// ErrTraceSyntax: a line is not a valid JSON trace record.
+	ErrTraceSyntax = errors.New("workload trace: malformed record")
+	// ErrTraceTimestamp: a record's at_us is negative or non-integral.
+	ErrTraceTimestamp = errors.New("workload trace: malformed timestamp")
+	// ErrTraceOrder: arrivals are not sorted by (at_us, client) or seq is
+	// not dense from 0.
+	ErrTraceOrder = errors.New("workload trace: out-of-order arrival")
+)
+
+// TraceError is a typed trace-parse failure: which line, what rule.
+type TraceError struct {
+	Line int   // 1-based line number
+	Kind error // one of the Err sentinels above
+	Msg  string
+}
+
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("%v (line %d): %s", e.Kind, e.Line, e.Msg)
+}
+
+func (e *TraceError) Unwrap() error { return e.Kind }
+
+// TraceStats reports what ReadTrace accepted and tolerated.
+type TraceStats struct {
+	// Records is the number of arrivals accepted.
+	Records int
+	// TornTail is true when the final line was cut mid-record (no trailing
+	// newline and not parseable): like the job journal, a torn tail is the
+	// expected signature of a crash mid-write, so it is dropped and
+	// reported rather than treated as corruption.
+	TornTail bool
+}
+
+// WriteTrace renders a timeline as JSONL, one record per line.
+func WriteTrace(w io.Writer, evs []Arrival) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// traceRecord mirrors Arrival but with pointer fields so missing keys are
+// distinguishable from zero values.
+type traceRecord struct {
+	Seq    *int64 `json:"seq"`
+	AtUS   *int64 `json:"at_us"`
+	Client *int64 `json:"client"`
+}
+
+// ReadTrace parses a JSONL timeline, enforcing the trace invariants: every
+// line a JSON object, at_us present and non-negative, seq (when present)
+// dense from 0, arrivals sorted by at_us. A torn final line (crash
+// signature: no trailing newline, unparseable) is dropped and reported in
+// TraceStats. Interior garbage is an error, never skipped — silently
+// dropping arrivals would mask lost load.
+func ReadTrace(r io.Reader) ([]Arrival, TraceStats, error) {
+	var (
+		evs   []Arrival
+		stats TraceStats
+		prev  int64 = -1
+	)
+	br := bufio.NewReader(r)
+	line := 0
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			torn := rerr != nil && !bytes.HasSuffix(raw, []byte{'\n'})
+			trimmed := bytes.TrimSpace(raw)
+			if len(trimmed) == 0 {
+				if rerr != nil {
+					break
+				}
+				continue
+			}
+			var rec traceRecord
+			dec := json.NewDecoder(bytes.NewReader(trimmed))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&rec); err != nil || dec.More() {
+				if torn {
+					stats.TornTail = true
+					break
+				}
+				return nil, stats, &TraceError{Line: line, Kind: ErrTraceSyntax, Msg: previewLine(trimmed)}
+			}
+			if rec.AtUS == nil {
+				if torn {
+					stats.TornTail = true
+					break
+				}
+				return nil, stats, &TraceError{Line: line, Kind: ErrTraceTimestamp, Msg: "missing at_us"}
+			}
+			if *rec.AtUS < 0 {
+				return nil, stats, &TraceError{Line: line, Kind: ErrTraceTimestamp, Msg: fmt.Sprintf("negative at_us %d", *rec.AtUS)}
+			}
+			if rec.Seq != nil && *rec.Seq != int64(len(evs)) {
+				return nil, stats, &TraceError{Line: line, Kind: ErrTraceOrder, Msg: fmt.Sprintf("seq %d, want %d", *rec.Seq, len(evs))}
+			}
+			if *rec.AtUS < prev {
+				return nil, stats, &TraceError{Line: line, Kind: ErrTraceOrder, Msg: fmt.Sprintf("at_us %d after %d", *rec.AtUS, prev)}
+			}
+			prev = *rec.AtUS
+			client := int64(-1)
+			if rec.Client != nil {
+				client = *rec.Client
+			}
+			evs = append(evs, Arrival{Seq: len(evs), AtUS: *rec.AtUS, Client: int(client)})
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				return nil, stats, rerr
+			}
+			break
+		}
+	}
+	stats.Records = len(evs)
+	return evs, stats, nil
+}
+
+// previewLine bounds a bad line's reproduction in error text.
+func previewLine(b []byte) string {
+	const max = 80
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	evs := tlOf(t, 9, ArrivalConfig{Shape: ShapeClosed, Jobs: 200, RatePerSec: 1000})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, evs); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, stats, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if stats.TornTail || stats.Records != len(evs) {
+		t.Fatalf("stats = %+v, want %d records, no torn tail", stats, len(evs))
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("got %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], evs[i])
+		}
+	}
+
+	// And the round-tripped trace replays as a timeline.
+	replay, err := Timeline(NewPartitionedRNG(1), ArrivalConfig{Shape: ShapeTrace, Jobs: len(got), Trace: got})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if TimelineFingerprint(replay) != TimelineFingerprint(evs) {
+		t.Fatal("trace replay changed the timeline")
+	}
+}
+
+func TestTraceTornTail(t *testing.T) {
+	evs := tlOf(t, 2, ArrivalConfig{Shape: ShapePoisson, Jobs: 5, RatePerSec: 100})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	cut := full[:len(full)-7] // cut mid final record, losing the newline
+	got, stats, err := ReadTrace(strings.NewReader(cut))
+	if err != nil {
+		t.Fatalf("torn tail must not error: %v", err)
+	}
+	if !stats.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if len(got) != len(evs)-1 {
+		t.Fatalf("got %d events, want %d (torn record dropped)", len(got), len(evs)-1)
+	}
+}
+
+func TestTraceTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"garbage line", "{\"seq\":0,\"at_us\":5}\nnot json\n{\"seq\":1,\"at_us\":9}\n", ErrTraceSyntax},
+		{"missing at_us", "{\"seq\":0}\n", ErrTraceTimestamp},
+		{"negative at_us", "{\"seq\":0,\"at_us\":-4}\n", ErrTraceTimestamp},
+		{"fractional at_us", "{\"seq\":0,\"at_us\":1.5}\n", ErrTraceSyntax},
+		{"seq gap", "{\"seq\":0,\"at_us\":5}\n{\"seq\":3,\"at_us\":9}\n", ErrTraceOrder},
+		{"time travel", "{\"seq\":0,\"at_us\":9}\n{\"seq\":1,\"at_us\":5}\n", ErrTraceOrder},
+		{"unknown field", "{\"seq\":0,\"at_us\":5,\"rate\":2}\n", ErrTraceSyntax},
+	}
+	for _, tc := range cases {
+		_, _, err := ReadTrace(strings.NewReader(tc.in))
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		var te *TraceError
+		if !errors.As(err, &te) || te.Line == 0 {
+			t.Fatalf("%s: error %v lacks line number", tc.name, err)
+		}
+	}
+}
+
+func TestTraceInteriorGarbageNeverSkipped(t *testing.T) {
+	// Interior corruption is an error even when the rest parses: silently
+	// dropping arrivals would fake a lighter workload.
+	in := "{\"seq\":0,\"at_us\":1}\n\x00\x01\x02\n{\"seq\":1,\"at_us\":2}\n"
+	if _, _, err := ReadTrace(strings.NewReader(in)); !errors.Is(err, ErrTraceSyntax) {
+		t.Fatalf("interior garbage: err = %v, want ErrTraceSyntax", err)
+	}
+}
+
+func FuzzTraceReplay(f *testing.F) {
+	// Seeds mirror the corpus: well-formed, torn tail, malformed timestamps,
+	// out-of-order arrivals, truncated UTF-8, blank lines, foreign fields.
+	f.Add([]byte(""))
+	f.Add([]byte("{\"seq\":0,\"at_us\":10}\n{\"seq\":1,\"at_us\":20}\n"))
+	f.Add([]byte("{\"seq\":0,\"at_us\":10}\n{\"seq\":1,\"at_"))
+	f.Add([]byte("{\"seq\":0,\"at_us\":-1}\n"))
+	f.Add([]byte("{\"seq\":0,\"at_us\":\"noon\"}\n"))
+	f.Add([]byte("{\"seq\":0,\"at_us\":30}\n{\"seq\":1,\"at_us\":20}\n"))
+	f.Add([]byte("{\"seq\":0,\"at_us\":1,\"client\":2}\n\n\n{\"seq\":1,\"at_us\":1}\n"))
+	f.Add([]byte("{\"seq\":0,\"at_us\":1}\n\xff\xfe{\"bad\"\n"))
+	f.Add([]byte("{\"kind\":\"submitted\",\"id\":\"job-1\"}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, stats, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			// Errors must be typed trace errors (or nothing else to check).
+			var te *TraceError
+			if !errors.As(err, &te) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if stats.Records != len(evs) {
+			t.Fatalf("stats.Records = %d, len = %d", stats.Records, len(evs))
+		}
+		// Accepted output must satisfy the trace invariants outright.
+		var prev int64 = -1
+		for i, e := range evs {
+			if e.Seq != i {
+				t.Fatalf("seq not dense at %d: %d", i, e.Seq)
+			}
+			if e.AtUS < 0 || e.AtUS < prev {
+				t.Fatalf("timestamps broken at %d: %d after %d", i, e.AtUS, prev)
+			}
+			prev = e.AtUS
+		}
+		// And accepted traces re-serialize and re-parse to the same events.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, evs); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		again, _, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(again) != len(evs) {
+			t.Fatalf("re-parse count %d != %d", len(again), len(evs))
+		}
+		for i := range evs {
+			if again[i] != evs[i] {
+				t.Fatalf("re-parse event %d: %+v != %+v", i, again[i], evs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package detlock
+
+import (
+	"context"
+
+	"repro/internal/workload"
+)
+
+// Workload layer: the seeded traffic plane for driving services and clusters.
+// A partitioned RNG feeds arrival-process generators (open-loop Poisson,
+// bursty MMPP, diurnal, closed-loop with think time, trace replay) and a
+// job-mix synthesizer over the generator's sync idioms; a driver pushes the
+// resulting stream through a single service or a LoopNet cluster and folds
+// the outcomes into a deterministic core fingerprint. Two runs with the same
+// seed and config produce byte-identical deterministic columns regardless of
+// topology, parallelism, or transport faults. cmd/detload sweeps the full
+// scenario matrix. See DESIGN.md §12.
+
+// WorkloadRNG hands out independent deterministic streams per subsystem
+// class, so drawing from one class never perturbs another.
+type WorkloadRNG = workload.PartitionedRNG
+
+// WorkloadArrival is one event of a traffic timeline.
+type WorkloadArrival = workload.Arrival
+
+// WorkloadArrivalConfig parameterizes a timeline (shape, rate, burst/diurnal
+// structure, closed-loop clients).
+type WorkloadArrivalConfig = workload.ArrivalConfig
+
+// WorkloadShape names one arrival process (poisson, bursty, diurnal, closed,
+// trace).
+type WorkloadShape = workload.Shape
+
+// WorkloadMixSpec describes a job mix: weights over the generic generator
+// and the sync-idiom families.
+type WorkloadMixSpec = workload.MixSpec
+
+// WorkloadRunConfig parameterizes one driver run (seed, arrival, mix,
+// topology, nemesis).
+type WorkloadRunConfig = workload.RunConfig
+
+// WorkloadOutcome is a run's result: loss accounting plus the deterministic
+// core fingerprint and the wall-clock annex.
+type WorkloadOutcome = workload.Outcome
+
+// WorkloadScenario is one cell of the scenario matrix.
+type WorkloadScenario = workload.Scenario
+
+// WorkloadMatrixConfig parameterizes a matrix sweep.
+type WorkloadMatrixConfig = workload.MatrixConfig
+
+// NewWorkloadRNG returns a partitioned RNG rooted at seed.
+func NewWorkloadRNG(seed int64) *WorkloadRNG { return workload.NewPartitionedRNG(seed) }
+
+// WorkloadTimeline generates the deterministic arrival sequence for cfg.
+func WorkloadTimeline(rng *WorkloadRNG, cfg WorkloadArrivalConfig) ([]WorkloadArrival, error) {
+	return workload.Timeline(rng, cfg)
+}
+
+// RunWorkload drives one seeded workload through a service or cluster.
+func RunWorkload(ctx context.Context, cfg WorkloadRunConfig) (*WorkloadOutcome, error) {
+	return workload.Run(ctx, cfg)
+}
+
+// RunWorkloadMatrix sweeps a scenario matrix on a worker pool; results come
+// back in scenario order so rendered tables are parallelism-independent.
+func RunWorkloadMatrix(ctx context.Context, cfg WorkloadMatrixConfig) []workload.ScenarioResult {
+	return workload.RunMatrix(ctx, cfg)
+}
+
+// WorkloadMixes returns the standard mix suite (generic, one per idiom,
+// blend).
+func WorkloadMixes() []WorkloadMixSpec { return workload.DefaultMixes() }
