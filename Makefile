@@ -1,7 +1,7 @@
 GO ?= go
 TIMEOUT ?= 10m
 
-.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke cluster-smoke nemesis-smoke workload-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json serve-smoke chaos-smoke cluster-smoke nemesis-smoke workload-smoke churn-smoke
 
 # check is what CI runs: build, vet, full test suite under the race detector.
 check: build vet race
@@ -71,6 +71,16 @@ workload-smoke:
 	$(GO) vet ./internal/workload/ ./internal/irgen/ ./cmd/detload/
 	$(GO) test -race -short -count=1 -timeout $(TIMEOUT) ./internal/workload/ ./internal/irgen/
 	$(GO) run ./cmd/detload -smoke -j 4
+
+# churn-smoke runs the short slice of the dynamic-membership properties
+# under the race detector: the seeded join/drain churn chaos property
+# (abridged to 4 schedules by -short), the membership view/ring/config unit
+# suite, and the join / drain-mid-load / anti-entropy-repair / hedged-fill
+# integration tests. The full 20-schedule property runs in `make test` as
+# TestChurnChaosProperty; EXPERIMENTS.md commits its table.
+churn-smoke:
+	$(GO) vet ./internal/cluster/ ./internal/workload/
+	$(GO) test -race -short -count=1 -timeout $(TIMEOUT) -run 'TestChurn|TestView|TestMembership|TestClusterConfig|TestJoin|TestDrain|TestAntiEntropy|TestHedgedFill' ./internal/cluster/ ./internal/workload/
 
 # cluster-smoke proves the shard group end to end over real loopback HTTP:
 # boot a 3-node cluster (each node with its own journal), sweep jobs across

@@ -16,11 +16,42 @@ import (
 // no standby is bitwise-identical to the bare service. cmd/detserve wires
 // this behind -peers / -standby / -shards.
 
+// Dynamic membership (ClusterConfig.SeedPeers) replaces the static peer list
+// with a versioned view — a monotonic config epoch plus per-node lifecycle
+// states (joining → active → draining → left) — disseminated by seeded
+// gossip. The hash ring is rebuilt per config epoch; joins bootstrap through
+// a seed with a re-execution cross-check, drains hand queued work, displaced
+// cache keys, and journal segment ownership to the surviving owners, and an
+// anti-entropy loop repairs divergent or missing cache entries against the
+// deterministic recompute path.
+
 // ClusterNode is one member of a detserve shard group.
 type ClusterNode = cluster.Node
 
-// ClusterConfig parameterizes OpenClusterNode.
+// ClusterConfig parameterizes OpenClusterNode. Validate rejects
+// contradictory configurations (static Peers together with SeedPeers,
+// a clustered node without Self, pre-set service hooks) with the same typed
+// *MisuseError (Kind ErrBadConfig) the service layer uses.
 type ClusterConfig = cluster.Config
+
+// ClusterMemberState is one node's lifecycle state in the membership view.
+type ClusterMemberState = cluster.MemberState
+
+// Membership lifecycle states, in forward-only order.
+const (
+	ClusterStateJoining  = cluster.StateJoining
+	ClusterStateActive   = cluster.StateActive
+	ClusterStateDraining = cluster.StateDraining
+	ClusterStateLeft     = cluster.StateLeft
+)
+
+// ClusterMember is one node's entry in a membership view.
+type ClusterMember = cluster.Member
+
+// ClusterView is a versioned membership view: the config epoch plus every
+// known member's lifecycle state. Views merge as a join-semilattice, so any
+// gossip order converges all nodes to the identical view.
+type ClusterView = cluster.View
 
 // ClusterStats is the node's cluster-layer counter snapshot (fills, offers,
 // steals, shipping).

@@ -7,7 +7,7 @@
 //	detserve [-addr :8080] [-workers N] [-queue N] [-self-check RATE] \
 //	         [-instr-cache N] [-result-cache N] [-pprof ADDR] \
 //	         [-journal PATH] [-deadline DUR] [-max-retries N] \
-//	         [-peers A,B,C] [-self ADDR] [-shards N] \
+//	         [-peers A,B,C] [-seed-peers A,B] [-self ADDR] [-shards N] \
 //	         [-standby ADDR] [-ship-path PATH]
 //	detserve -smoke
 //	detserve -cluster-smoke
@@ -23,10 +23,16 @@
 //	GET  /v1/jobs/{id}   job status/result (service.JobView JSON).
 //	GET  /v1/stats       service counters (service.StatsSnapshot JSON).
 //	GET  /healthz        liveness + queue depth (200 while the process runs).
-//	GET  /readyz         readiness (503 while draining, journal-degraded, or
-//	                     divergence circuit breaker open).
+//	GET  /readyz         readiness (503 while joining, draining,
+//	                     journal-degraded, or divergence circuit breaker
+//	                     open).
 //	     /internal/v1/*  cluster peer protocol (result fill, offers, work
-//	                     stealing, journal shipping) — see internal/cluster.
+//	                     stealing, journal shipping, gossip, join/handoff) —
+//	                     see internal/cluster.
+//	POST /v1/cluster/join   seed side of the dynamic-membership bootstrap.
+//	POST /v1/cluster/drain  start a graceful drain (202; handoff + leave
+//	                        proceed in the background).
+//	GET  /v1/cluster/stats  cluster counters, membership view, peer liveness.
 //
 // Clustering: -peers enables a consistent-hash shard group over the listed
 // nodes (peer cache fill with hedged retry, work stealing, deterministic
@@ -34,6 +40,15 @@
 // -ship-path for warm takeover. Every peer failure degrades to local
 // recomputation — never a client-visible error. See README "Running a
 // cluster" and DESIGN.md §10.
+//
+// Dynamic membership: -seed-peers A,B replaces the static list with a
+// gossiped, versioned membership view. The node starts joining, bootstraps
+// through a seed (verifying the seed's journal snapshot by re-execution)
+// and is admitted to the hash ring only then; -seed-peers "" (empty value)
+// bootstraps a new cluster of one that others join. SIGTERM triggers a
+// graceful drain: the node stops admitting, hands queued jobs, displaced
+// cache keys and journal segment ownership to the surviving owners, spreads
+// its tombstone, and exits. See DESIGN.md §13.
 //
 // Status codes: 400 for configuration misuse, 404 for unknown jobs, 422 for
 // jobs that failed with a structured report (deadlock, race, divergence),
@@ -110,6 +125,7 @@ func main() {
 
 		self         = flag.String("self", "", "advertised cluster address (default: -addr)")
 		peersF       = flag.String("peers", "", "comma-separated peer addresses (enables sharded peer cache fill and work stealing)")
+		seedPeersF   = flag.String("seed-peers", "", "comma-separated seed addresses for dynamic membership (join via gossip); empty value bootstraps a new cluster")
 		standby      = flag.String("standby", "", "standby address to ship the job journal to")
 		shards       = flag.Int("shards", 0, "virtual shards per node on the hash ring (0 = default 64)")
 		shipPath     = flag.String("ship-path", "", "act as a standby: persist shipped journal records here")
@@ -172,6 +188,17 @@ func main() {
 	if *smoke && *clusterSmoke {
 		usage("-smoke and -cluster-smoke are mutually exclusive")
 	}
+	// -seed-peers "" is meaningful (bootstrap a new cluster), so presence is
+	// detected, not inferred from the value.
+	seedMode := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed-peers" {
+			seedMode = true
+		}
+	})
+	if seedMode && *peersF != "" {
+		usage("-peers and -seed-peers are mutually exclusive (static list vs gossip-joined membership)")
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
@@ -233,6 +260,14 @@ func main() {
 			ccfg.Peers = append(ccfg.Peers, p)
 		}
 	}
+	if seedMode {
+		ccfg.SeedPeers = []string{} // non-nil selects dynamic membership
+		for _, p := range strings.Split(*seedPeersF, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				ccfg.SeedPeers = append(ccfg.SeedPeers, p)
+			}
+		}
+	}
 
 	if err := serve(*addr, *pprofAddr, ccfg); err != nil {
 		fmt.Fprintln(os.Stderr, "detserve:", err)
@@ -286,6 +321,27 @@ func serve(addr, pprofAddr string, ccfg cluster.Config) error {
 	if peers := node.Peers(); len(peers) > 0 {
 		fmt.Printf("detserve: cluster of %d peers as %s\n", len(peers), ccfg.Self)
 	}
+	if ccfg.SeedPeers != nil {
+		if len(ccfg.SeedPeers) == 0 {
+			fmt.Printf("detserve: bootstrapped dynamic cluster as %s (epoch %d)\n", ccfg.Self, node.Epoch())
+		} else {
+			// Join after the listener is up: handed-back completions and gossip
+			// pushes need our HTTP surface reachable. Retry with backoff — the
+			// seeds may still be starting.
+			go func() {
+				for attempt := 1; ; attempt++ {
+					if err := node.Join(ctx); err == nil {
+						fmt.Printf("detserve: joined cluster via %v as %s (epoch %d)\n", ccfg.SeedPeers, ccfg.Self, node.Epoch())
+						return
+					} else if ctx.Err() != nil || attempt >= 20 {
+						fmt.Fprintf(os.Stderr, "detserve: join failed after %d attempts: %v (serving standalone until gossip reaches us)\n", attempt, err)
+						return
+					}
+					time.Sleep(500 * time.Millisecond)
+				}
+			}()
+		}
+	}
 	if ccfg.Standby != "" {
 		fmt.Printf("detserve: shipping journal to %s\n", ccfg.Standby)
 	}
@@ -300,22 +356,31 @@ func serve(addr, pprofAddr string, ccfg cluster.Config) error {
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Println("detserve: shutting down, draining in-flight jobs")
+	fmt.Println("detserve: shutting down: graceful drain (handoff, rebalance, journal transfer), then exit")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	// Drain before the listener closes: handed-off jobs post their
+	// completions back through our HTTP surface, and peers pull our view.
+	// New submissions are already refused (typed ErrDraining → 503).
+	if err := node.Drain(shutCtx); err != nil {
+		node.Close(context.Background()) // best effort: a timed-out drain must still release the node
+		srv.Shutdown(shutCtx)
+		return fmt.Errorf("drain: %w", err)
+	}
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	return node.Close(shutCtx)
+	return nil
 }
 
 // mountNode layers the cluster node's endpoints (/healthz, /readyz,
-// /internal/v1/*) over the public job API on one mux.
+// /internal/v1/*, /v1/cluster/*) over the public job API on one mux.
 func mountNode(api http.Handler, node *cluster.Node) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/healthz", node.Handler())
 	mux.Handle("/readyz", node.Handler())
 	mux.Handle("/internal/v1/", node.Handler())
+	mux.Handle("/v1/cluster/", node.Handler())
 	mux.Handle("/", api)
 	return mux
 }
@@ -382,7 +447,7 @@ func statusFor(err error) int {
 	switch service.Classify(err) {
 	case "queue_full", "overloaded":
 		return http.StatusTooManyRequests
-	case "closed", "circuit_open":
+	case "closed", "circuit_open", "draining":
 		return http.StatusServiceUnavailable
 	case "unknown_job":
 		return http.StatusNotFound

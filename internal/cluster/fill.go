@@ -22,14 +22,15 @@ import (
 // end to end, and a single hedged retry fires if the first attempt has not
 // answered within Config.HedgeAfter — the standard tail-latency hedge, but
 // capped at exactly one extra request so a struggling owner sees at most 2×
-// load, not a retry storm. The winning response is whichever arrives first;
-// the loser's context is cancelled.
+// load, not a retry storm. Each attempt runs under its own child context,
+// cancelled the moment it loses: the straggler's goroutine and connection are
+// released when the winner returns, not when the shared deadline expires.
 
 // fill is the service.Config.Fill hook.
 func (n *Node) fill(ctx context.Context, key string, req *service.Request) *service.Result {
-	owner := n.ring.owner(key)
-	if owner == n.cfg.Self || owner == "" {
-		return nil // we are the owner: the miss is authoritative
+	owner, ok := n.ownerOf(key)
+	if !ok || owner == n.cfg.Self {
+		return nil // we are the owner (or there is no ring): the miss is authoritative
 	}
 	if !n.members.alive(owner) {
 		n.ctr.fillSkips.Add(1)
@@ -47,33 +48,50 @@ func (n *Node) fill(ctx context.Context, key string, req *service.Request) *serv
 	return res
 }
 
-// fetchHedged races the primary fetch against a delayed hedge.
+// fetchHedged races the primary fetch against a delayed hedge. Every attempt
+// gets its own cancellable child context; when one attempt wins, the losers
+// are cancelled immediately so no request goroutine outlives the answer by
+// more than its cancellation handling.
 func (n *Node) fetchHedged(ctx context.Context, owner, key string) *service.Result {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel() // the first result cancels the straggler
-	results := make(chan *service.Result, 2)
-	launch := func() {
-		res, err := n.fetchResult(ctx, owner, key)
-		if err != nil {
-			res = nil
-		}
-		results <- res
+	type outcome struct {
+		res *service.Result
+		idx int
 	}
-	go launch()
+	results := make(chan outcome, 2) // buffered: a late loser never blocks
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	launch := func() {
+		idx := len(cancels)
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		go func() {
+			res, err := n.fetchResult(actx, owner, key)
+			if err != nil {
+				res = nil
+			}
+			results <- outcome{res, idx}
+		}()
+	}
+	launch()
 	hedge := newTimer(n.cfg.HedgeAfter)
 	defer hedge.Stop()
 	pending := 1
 	for pending > 0 {
 		select {
-		case res := <-results:
+		case out := <-results:
 			pending--
-			if res != nil {
-				return res
+			cancels[out.idx]() // attempt finished; release its context now
+			if out.res != nil {
+				return out.res // deferred cancels cut the straggler loose
 			}
 		case <-hedge.C:
 			n.ctr.fillHedges.Add(1)
 			pending++
-			go launch()
+			launch()
 		case <-ctx.Done():
 			return nil
 		}
@@ -120,10 +138,12 @@ func (n *Node) fetchResult(ctx context.Context, owner, key string) (*service.Res
 // offer is the service.Config.Offer hook: after computing a result this node
 // does not own, push it to the shard owner so the next miss anywhere in the
 // cluster fills from cache. Fire-and-forget on a bounded deadline — a failed
-// offer costs the cluster one future recomputation, nothing else.
-func (n *Node) offer(key string, res *service.Result) {
-	owner := n.ring.owner(key)
-	if owner == n.cfg.Self || owner == "" || !n.members.alive(owner) {
+// offer costs the cluster one future recomputation, nothing else. The
+// originating request rides along so the owner's entry stays recheckable by
+// its anti-entropy repair loop.
+func (n *Node) offer(key string, res *service.Result, req *service.Request) {
+	owner, ok := n.ownerOf(key)
+	if !ok || owner == n.cfg.Self || !n.members.alive(owner) {
 		return
 	}
 	n.wg.Add(1)
@@ -131,33 +151,45 @@ func (n *Node) offer(key string, res *service.Result) {
 		defer n.wg.Done()
 		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.FillTimeout)
 		defer cancel()
-		body, err := json.Marshal(res)
-		if err != nil {
-			return
-		}
-		url := "http://" + owner + "/internal/v1/offer?key=" + key
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-		if err != nil {
-			return
-		}
-		req.Header.Set("Content-Type", "application/json")
-		setSum(req.Header, body)
-		resp, err := n.cfg.Client.Do(req)
-		if err != nil {
-			n.ctr.offerFails.Add(1)
-			return
-		}
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusNoContent, http.StatusOK:
-			n.ctr.offersSent.Add(1)
-		case http.StatusConflict:
-			// The owner's cached entry disagrees with ours: a determinism
-			// divergence, counted on both sides and policed by the owner's
-			// breaker.
-			n.ctr.offerDivergences.Add(1)
-		default:
-			n.ctr.offerFails.Add(1)
-		}
+		n.sendOffer(ctx, owner, key, res, req)
 	}()
+}
+
+// sendOffer posts one offer synchronously and classifies the outcome. The
+// async offer hook, the rebalance push, and the repair backfill all funnel
+// through it, so the counters mean the same thing on every path.
+func (n *Node) sendOffer(ctx context.Context, owner, key string, res *service.Result, req *service.Request) error {
+	body, err := json.Marshal(offerMsg{Res: res, Req: req})
+	if err != nil {
+		n.ctr.offerFails.Add(1)
+		return err
+	}
+	url := "http://" + owner + "/internal/v1/offer?key=" + key
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		n.ctr.offerFails.Add(1)
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	setSum(hreq.Header, body)
+	resp, err := n.cfg.Client.Do(hreq)
+	if err != nil {
+		n.ctr.offerFails.Add(1)
+		return err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		n.ctr.offersSent.Add(1)
+		return nil
+	case http.StatusConflict:
+		// The owner's cached entry disagrees with ours: a determinism
+		// divergence, counted on both sides and policed by the owner's
+		// breaker.
+		n.ctr.offerDivergences.Add(1)
+		return fmt.Errorf("offer %s: divergence (409)", owner)
+	default:
+		n.ctr.offerFails.Add(1)
+		return fmt.Errorf("offer %s: status %d", owner, resp.StatusCode)
+	}
 }

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/diag"
+)
+
+// Join protocol. A newcomer opened with SeedPeers starts in StateJoining —
+// known to nobody, owning nothing — and must bootstrap through a seed before
+// the ring admits it:
+//
+//  1. it POSTs its (one-member) view to a seed's /internal/v1/join;
+//  2. the seed merges the announcement and replies with its own view plus a
+//     journal snapshot — the same resync payload the shipping plane sends a
+//     standby that lost the stream;
+//  3. the newcomer verifies the payload the hard way: frames are checked,
+//     and up to joinCheckMax journaled completions are re-executed on the
+//     newcomer's own deterministic core. A seed whose history does not
+//     reproduce is refused — joining a divergent cluster would be adopting
+//     its wrongness;
+//  4. only then does the newcomer bump itself active (advancing the config
+//     epoch), rebuild its ring, and push the new view to everyone it now
+//     knows, so the cluster starts routing the newcomer's key ranges to it.
+//
+// Steps run against each seed in order until one admits; a cluster is
+// joinable as long as any seed answers.
+
+// joinCheckMax bounds the journaled completions a joiner re-executes during
+// bootstrap. Small on purpose: the check is a spot audit that any divergence
+// fails loudly, not a full replay.
+const joinCheckMax = 2
+
+// joinReply is a seed's answer: its view and a journal snapshot for the
+// divergence cross-check.
+type joinReply struct {
+	View     View     `json:"view"`
+	Snapshot [][]byte `json:"snapshot,omitempty"`
+}
+
+// Join bootstraps this node into the cluster through its configured seeds.
+// It is idempotent — an already-active node returns nil immediately — and a
+// bootstrap node (no seeds) is born active, so callers can invoke Join
+// unconditionally after Open.
+func (n *Node) Join(ctx context.Context) error {
+	if !n.dynamic {
+		return &diag.MisuseError{Op: "cluster.Join", ThreadID: -1, Kind: diag.ErrBadConfig,
+			Detail: "Join requires dynamic membership (Config.SeedPeers)"}
+	}
+	if n.members.selfState() != StateJoining {
+		return nil
+	}
+	var lastErr error
+	for _, seed := range n.cfg.SeedPeers {
+		if err := n.joinVia(ctx, seed); err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: join: no seed admitted this node: %w", lastErr)
+}
+
+// joinVia runs the bootstrap handshake against one seed.
+func (n *Node) joinVia(ctx context.Context, seed string) error {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FillTimeout)
+	defer cancel()
+	body, err := json.Marshal(gossipMsg{From: n.cfg.Self, View: n.members.viewClone()})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+seed+"/internal/v1/join", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setSum(req.Header, body)
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("join %s: %w", seed, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("join %s: status %d", seed, resp.StatusCode)
+	}
+	reply, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("join %s: %w", seed, err)
+	}
+	if err := verifySum(resp.Header, reply, "join reply from "+seed); err != nil {
+		n.reportPeerCorruption(seed, err)
+		return err
+	}
+	var jr joinReply
+	if err := json.Unmarshal(reply, &jr); err != nil {
+		return fmt.Errorf("join %s: %w", seed, err)
+	}
+	// Divergence cross-check before admission: the seed's journaled history
+	// must reproduce byte-identically on our core. Refusing here is the whole
+	// point — a newcomer must prove it computes what the cluster computes
+	// before it starts owning the cluster's keys.
+	if err := n.svc.CheckSnapshotRecords(ctx, jr.Snapshot, joinCheckMax); err != nil {
+		return fmt.Errorf("join %s: bootstrap cross-check: %w", seed, err)
+	}
+	n.members.merge(jr.View)
+	n.members.bumpSelf(StateActive)
+	n.syncRing()
+	n.ctr.joins.Add(1)
+	// Push admission to everyone we now know — new ranges route immediately.
+	n.gossipNow(ctx)
+	return nil
+}
+
+// handleJoin is the seed side of the bootstrap handshake (mounted at both
+// /internal/v1/join and the operator-facing /v1/cluster/join). It merges the
+// joiner's announcement and replies with the full view plus the journal
+// snapshot the joiner cross-checks.
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if n.members == nil {
+		http.Error(w, "not clustered", http.StatusNotFound)
+		return
+	}
+	n.mu.Lock()
+	refusing := n.draining || n.closed
+	n.mu.Unlock()
+	if refusing {
+		http.Error(w, "node is draining", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "bad join body", http.StatusBadRequest)
+		return
+	}
+	if err := verifySum(r.Header, body, "join"); err != nil {
+		n.ctr.corruptDetected.Add(1)
+		n.svc.ReportCorruption(err)
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	var msg gossipMsg
+	if err := json.Unmarshal(body, &msg); err != nil || msg.From == "" {
+		http.Error(w, "bad join body", http.StatusBadRequest)
+		return
+	}
+	if n.members.merge(msg.View) {
+		n.syncRing()
+	}
+	n.ctr.joinsServed.Add(1)
+	writeSummed(w, joinReply{View: n.members.viewClone(), Snapshot: n.svc.JournalSnapshotRecords()})
+}

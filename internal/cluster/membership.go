@@ -9,14 +9,23 @@ import (
 	"time"
 )
 
-// membership tracks the liveness of a static peer list by periodic health
-// probes. Failure detection is deterministic by construction: a peer is
-// marked down after exactly FailThreshold consecutive probe failures and up
-// again after a single success — no randomised timers, no gossip, no
-// phi-accrual estimation. With a fixed probe schedule and a fixed fault
-// schedule, every node makes the same liveness decisions at the same probe
-// counts, which is what lets the chaos property test assert cluster-wide
-// behaviour rather than race against an adaptive detector.
+// membership combines two deliberately separate planes:
+//
+//   - the View: the versioned, gossiped cluster configuration (who is a
+//     member, in which lifecycle state, at which config epoch). It is global
+//     state every node converges on, and it alone decides ring ownership.
+//   - the probe overlay: per-peer liveness from this node's own health
+//     probes. It is local observation — node A may reach B while C cannot —
+//     and it only decides whether to *talk* to a peer right now, never who
+//     owns what.
+//
+// Failure detection stays deterministic by construction: a peer is marked
+// down after exactly FailThreshold consecutive probe failures and up again
+// after a single success — no randomised timers, no phi-accrual estimation.
+// With a fixed probe schedule and a fixed fault schedule, every node makes
+// the same liveness decisions at the same probe counts, which is what lets
+// the chaos property assert cluster-wide behaviour rather than race against
+// an adaptive detector.
 type membership struct {
 	self      string
 	client    Doer
@@ -24,6 +33,7 @@ type membership struct {
 	threshold int
 
 	mu    sync.Mutex
+	view  View
 	peers map[string]*peerState
 }
 
@@ -51,33 +61,137 @@ type healthReport struct {
 	Ready      bool   `json:"ready"`
 }
 
-func newMembership(self string, peers []string, client Doer, timeout time.Duration, threshold int) *membership {
+func baseMembership(self string, client Doer, timeout time.Duration, threshold int) *membership {
 	if threshold <= 0 {
 		threshold = 3
 	}
 	if timeout <= 0 {
 		timeout = 250 * time.Millisecond
 	}
-	m := &membership{
+	return &membership{
 		self:      self,
 		client:    client,
 		timeout:   timeout,
 		threshold: threshold,
 		peers:     make(map[string]*peerState),
 	}
+}
+
+// newMembership builds the static-cluster membership: every listed peer plus
+// self, all active at epoch 1. The peer list is hardened here rather than
+// trusted: repeated names are deduplicated (a copy-pasted config must not
+// give one node two ring shares or two probe streams) and self is ignored if
+// it appears in its own peer list (a node must never probe, fill from, or
+// steal from itself). Empty strings are skipped.
+func newMembership(self string, peers []string, client Doer, timeout time.Duration, threshold int) *membership {
+	m := baseMembership(self, client, timeout, threshold)
+	seen := map[string]bool{self: true, "": true}
+	names := []string{self}
 	for _, p := range peers {
-		if p == self {
+		if seen[p] {
 			continue
 		}
-		// Peers start alive: a fresh node must not refuse to fill from a
-		// healthy cluster just because it has not completed a probe round yet.
-		m.peers[p] = &peerState{alive: true}
+		seen[p] = true
+		names = append(names, p)
 	}
+	m.view = staticView(names)
+	m.syncPeersLocked()
 	return m
 }
 
+// newDynamicMembership builds a gossip-mode membership. A bootstrap node
+// (empty seed list) starts as the active cluster-of-one other nodes join;
+// a joiner starts in StateJoining and is admitted to the ring only after its
+// bootstrap handshake verifies.
+func newDynamicMembership(self string, bootstrap bool, client Doer, timeout time.Duration, threshold int) *membership {
+	m := baseMembership(self, client, timeout, threshold)
+	if bootstrap {
+		m.view = staticView([]string{self})
+	} else {
+		m.view = joiningView(self)
+	}
+	m.syncPeersLocked()
+	return m
+}
+
+// syncPeersLocked reconciles the probe overlay with the view: every non-self,
+// non-left member gets a probe record (starting alive — a fresh node must not
+// refuse to fill from a healthy cluster before its first probe round), and
+// departed members are dropped. Callers hold m.mu or own m exclusively.
+func (m *membership) syncPeersLocked() {
+	for name, mem := range m.view.Members {
+		if name == m.self {
+			continue
+		}
+		if mem.State == StateLeft {
+			delete(m.peers, name)
+			continue
+		}
+		if _, ok := m.peers[name]; !ok {
+			m.peers[name] = &peerState{alive: true}
+		}
+	}
+}
+
+// merge folds a remote view in, reconciles the probe overlay, and reports
+// whether anything changed (the caller rebuilds the ring when it did).
+func (m *membership) merge(v View) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := m.view.Merge(v)
+	if changed {
+		m.syncPeersLocked()
+	}
+	return changed
+}
+
+// bumpSelf advances the config epoch with a new lifecycle state for this
+// node and returns the resulting view clone (the gossip payload).
+func (m *membership) bumpSelf(state MemberState) View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.view.Bump(m.self, state)
+	m.syncPeersLocked()
+	return m.view.Clone()
+}
+
+// viewClone returns a deep copy of the current view.
+func (m *membership) viewClone() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.Clone()
+}
+
+// epoch returns the current config epoch.
+func (m *membership) epoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.Epoch
+}
+
+// digest returns the view's convergence digest.
+func (m *membership) digest() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.Digest()
+}
+
+// ringMembers returns the sorted active members — the ring's node set.
+func (m *membership) ringMembers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.RingMembers()
+}
+
+// selfState returns this node's own lifecycle state in the view.
+func (m *membership) selfState() MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.Members[m.self].State
+}
+
 // alive reports whether addr is currently believed up. The local node is
-// always alive to itself; unknown addresses are dead.
+// always alive to itself; unknown (or departed) addresses are dead.
 func (m *membership) alive(addr string) bool {
 	if addr == m.self {
 		return true
@@ -186,18 +300,31 @@ func (m *membership) probe(ctx context.Context, addr string) (*healthReport, err
 	return &rep, nil
 }
 
-// snapshot renders per-peer liveness for stats and the smoke harness.
+// snapshot renders per-peer liveness and membership state for stats and the
+// smoke harness. It covers every view member except self — including left
+// tombstones, which carry state but no probe bookkeeping.
 func (m *membership) snapshot() map[string]PeerStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[string]PeerStatus, len(m.peers))
-	for addr, p := range m.peers {
-		out[addr] = PeerStatus{Alive: p.alive, Failures: p.failures, QueueDepth: p.depth, Probes: p.probes, Quarantined: p.quarantined}
+	out := make(map[string]PeerStatus, len(m.view.Members))
+	for name, mem := range m.view.Members {
+		if name == m.self {
+			continue
+		}
+		st := PeerStatus{State: string(mem.State), Stamp: mem.Stamp}
+		if p, ok := m.peers[name]; ok {
+			st.Alive = p.alive
+			st.Failures = p.failures
+			st.QueueDepth = p.depth
+			st.Probes = p.probes
+			st.Quarantined = p.quarantined
+		}
+		out[name] = st
 	}
 	return out
 }
 
-// PeerStatus is one peer's externally visible liveness state.
+// PeerStatus is one peer's externally visible liveness and membership state.
 type PeerStatus struct {
 	Alive      bool  `json:"alive"`
 	Failures   int   `json:"failures"`
@@ -206,4 +333,8 @@ type PeerStatus struct {
 	// Quarantined: the peer served corrupt bytes and is treated as down
 	// until it passes the threshold of consecutive health probes.
 	Quarantined bool `json:"quarantined,omitempty"`
+	// State is the peer's lifecycle state in the membership view, and Stamp
+	// the config epoch it was set at.
+	State string `json:"state,omitempty"`
+	Stamp int64  `json:"stamp,omitempty"`
 }

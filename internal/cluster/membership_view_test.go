@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/service"
+)
+
+// TestViewMergeSemilattice pins the merge algebra the gossip plane rests on:
+// commutative, idempotent, higher stamp wins, equal stamps break toward the
+// later lifecycle state, epoch is the max of the sides.
+func TestViewMergeSemilattice(t *testing.T) {
+	base := staticView([]string{"node-a", "node-b"})
+	v1 := base.Clone()
+	v1.Bump("node-a", StateDraining) // epoch 2, a@2
+	v2 := base.Clone()
+	v2.Bump("node-b", StateLeft) // epoch 2, b@2
+
+	m1 := v1.Clone()
+	if !m1.Merge(v2) {
+		t.Fatal("merge of new facts reported no change")
+	}
+	m2 := v2.Clone()
+	m2.Merge(v1)
+	if m1.Digest() != m2.Digest() {
+		t.Fatalf("merge is order-dependent: %s vs %s", m1.Digest(), m2.Digest())
+	}
+	if m1.Epoch != 2 || m1.Members["node-a"].State != StateDraining || m1.Members["node-b"].State != StateLeft {
+		t.Fatalf("merged view wrong: %+v", m1)
+	}
+	if m1.Merge(v2) {
+		t.Fatal("re-merging already-known facts reported a change (not idempotent)")
+	}
+
+	// Equal stamps: the later lifecycle state is the newer fact.
+	tie := View{Epoch: 5, Members: map[string]Member{"x": {State: StateActive, Stamp: 5}}}
+	tie.Merge(View{Epoch: 5, Members: map[string]Member{"x": {State: StateDraining, Stamp: 5}}})
+	if tie.Members["x"].State != StateDraining {
+		t.Fatalf("equal-stamp tie-break picked %s, want draining", tie.Members["x"].State)
+	}
+	// A higher stamp beats a later state: stamps are the single-writer truth.
+	stamp := View{Epoch: 4, Members: map[string]Member{"x": {State: StateLeft, Stamp: 3}}}
+	stamp.Merge(View{Epoch: 4, Members: map[string]Member{"x": {State: StateActive, Stamp: 4}}})
+	if stamp.Members["x"].State != StateActive {
+		t.Fatalf("higher stamp lost the merge: %+v", stamp.Members["x"])
+	}
+
+	// Ring membership: active members only, sorted.
+	ring := View{Epoch: 9, Members: map[string]Member{
+		"c": {State: StateActive, Stamp: 1},
+		"a": {State: StateActive, Stamp: 1},
+		"j": {State: StateJoining, Stamp: 2},
+		"d": {State: StateDraining, Stamp: 3},
+		"l": {State: StateLeft, Stamp: 4},
+	}}
+	if got := ring.RingMembers(); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("RingMembers = %v, want active-only sorted [a c]", got)
+	}
+}
+
+// TestMembershipPeerListHardening is the config-hardening table: repeated
+// peer names collapse to one probe stream and ring share, a node listed in
+// its own peer list never peers with itself, and empty strings are dropped.
+func TestMembershipPeerListHardening(t *testing.T) {
+	cases := []struct {
+		name      string
+		peers     []string
+		wantPeers []string
+	}{
+		{"duplicates", []string{"node-b", "node-b", "node-c", "node-b"}, []string{"node-b", "node-c"}},
+		{"self-in-list", []string{"node-a", "node-b"}, []string{"node-b"}},
+		{"empty-strings", []string{"", "node-b", ""}, []string{"node-b"}},
+		{"only-junk", []string{"", "node-a", "node-a"}, []string{}},
+		{"all-at-once", []string{"node-a", "", "node-c", "node-c", "node-b", "node-a"}, []string{"node-b", "node-c"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMembership("node-a", tc.peers, nil, 0, 0)
+			got := m.peerList()
+			sort.Strings(got)
+			if !reflect.DeepEqual(got, tc.wantPeers) {
+				t.Fatalf("peers(%v) = %v, want %v", tc.peers, got, tc.wantPeers)
+			}
+			wantRing := append([]string{"node-a"}, tc.wantPeers...)
+			sort.Strings(wantRing)
+			if ring := m.ringMembers(); !reflect.DeepEqual(ring, wantRing) {
+				t.Fatalf("ring(%v) = %v, want %v", tc.peers, ring, wantRing)
+			}
+			if m.epoch() != 1 {
+				t.Fatalf("static view epoch = %d, want 1", m.epoch())
+			}
+			// dedupePeers (Open's pre-filter) must agree with the membership's
+			// own hardening.
+			deduped := dedupePeers("node-a", tc.peers)
+			sort.Strings(deduped)
+			if len(deduped) != len(tc.wantPeers) || (len(deduped) > 0 && !reflect.DeepEqual(deduped, tc.wantPeers)) {
+				t.Fatalf("dedupePeers(%v) = %v, want %v", tc.peers, deduped, tc.wantPeers)
+			}
+		})
+	}
+}
+
+// TestClusterConfigValidate pins the typed rejection of contradictory
+// configurations, both through Validate and through Open.
+func TestClusterConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"peers-and-seeds", Config{Self: "a", Peers: []string{"b"}, SeedPeers: []string{"c"}}},
+		{"seeds-without-self", Config{SeedPeers: []string{"b"}}},
+		{"peers-without-self", Config{Peers: []string{"b"}}},
+		{"fill-hook-preset", Config{Self: "a", Peers: []string{"b"}, Service: service.Config{
+			Fill: func(ctx context.Context, key string, req *service.Request) *service.Result { return nil },
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a contradictory config")
+			}
+			if !errors.Is(err, diag.ErrBadConfig) {
+				t.Fatalf("error %v is not ErrBadConfig", err)
+			}
+			var mis *diag.MisuseError
+			if !errors.As(err, &mis) || mis.Op != "cluster.Open" {
+				t.Fatalf("error %v is not a cluster.Open MisuseError", err)
+			}
+			if _, err := Open(tc.cfg); err == nil {
+				t.Fatal("Open accepted a config Validate rejects")
+			}
+		})
+	}
+	good := Config{Self: "a", SeedPeers: []string{}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected a bootstrap config: %v", err)
+	}
+	if err := (&Config{}).Validate(); err != nil {
+		t.Fatalf("Validate rejected single-node config: %v", err)
+	}
+}

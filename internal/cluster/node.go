@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/det"
 	"repro/internal/diag"
 	"repro/internal/service"
 )
@@ -21,8 +23,15 @@ type Config struct {
 	// Peers is the static member list, Self included or not — Self is
 	// filtered out. An empty list (after filtering) is single-node mode: no
 	// hooks are installed and the node is bitwise-identical to the bare
-	// service.
+	// service. Mutually exclusive with SeedPeers.
 	Peers []string
+	// SeedPeers switches the node to dynamic membership: instead of a fixed
+	// member list, the cluster's shape is a versioned view spread by gossip.
+	// A non-nil (even empty) SeedPeers selects dynamic mode. With seeds the
+	// node starts in StateJoining and must Join through one of them before
+	// the ring admits it; with an empty list it bootstraps as the active
+	// cluster-of-one that others join.
+	SeedPeers []string
 	// Standby, when non-empty, is the address journal records are shipped to
 	// for warm takeover.
 	Standby string
@@ -62,6 +71,41 @@ type Config struct {
 	// ShipPath, when non-empty, makes this node a standby target: shipped
 	// records are persisted there, ready for Takeover.
 	ShipPath string
+
+	// GossipInterval is the membership-dissemination period in dynamic mode
+	// (default 200ms); <0 disables the background gossiper (tests drive
+	// GossipOnce directly).
+	GossipInterval time.Duration
+	// GossipFanout is the peers contacted per gossip round (default 2).
+	GossipFanout int
+	// GossipSeed seeds the deterministic peer-selection stream (default 1).
+	GossipSeed int64
+
+	// RepairInterval is the anti-entropy period (default 2s); <0 disables
+	// the background repair loop (tests drive RepairOnce directly).
+	RepairInterval time.Duration
+	// RepairMax bounds the keys re-verified per repair round (default 128).
+	RepairMax int
+}
+
+// Validate rejects contradictory cluster configurations with a typed
+// *diag.MisuseError (Kind diag.ErrBadConfig), mirroring the service's own
+// config validation. Open calls it; the root facade exports it so embedders
+// can validate before paying for a failed Open.
+func (c *Config) Validate() error {
+	bad := func(detail string) error {
+		return &diag.MisuseError{Op: "cluster.Open", ThreadID: -1, Kind: diag.ErrBadConfig, Detail: detail}
+	}
+	if len(c.Peers) > 0 && c.SeedPeers != nil {
+		return bad("Peers and SeedPeers are mutually exclusive: a node is either statically configured or gossip-joined, not both")
+	}
+	if c.Self == "" && (len(c.Peers) > 0 || c.SeedPeers != nil) {
+		return bad("clustered node needs a Self address")
+	}
+	if c.Service.Fill != nil || c.Service.Offer != nil || c.Service.ShipRecord != nil {
+		return bad("Service.Fill/Offer/ShipRecord must be nil: the cluster node owns the service hooks")
+	}
+	return nil
 }
 
 func (c *Config) withDefaults() {
@@ -95,6 +139,21 @@ func (c *Config) withDefaults() {
 	if c.ShipInterval == 0 {
 		c.ShipInterval = 100 * time.Millisecond
 	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = 200 * time.Millisecond
+	}
+	if c.GossipFanout <= 0 {
+		c.GossipFanout = 2
+	}
+	if c.GossipSeed == 0 {
+		c.GossipSeed = 1
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 2 * time.Second
+	}
+	if c.RepairMax <= 0 {
+		c.RepairMax = 128
+	}
 }
 
 // Node is one member of a detserve shard group: the transport-facing wrapper
@@ -104,41 +163,69 @@ func (c *Config) withDefaults() {
 type Node struct {
 	cfg     Config
 	svc     *service.Service
-	ring    *ring
 	members *membership
+	dynamic bool
 	shipper *shipper
 	standby *standbyStore
 	mux     *http.ServeMux
 	ctr     counters
 
+	// ringMu guards the mutable consistent-hash ring, rebuilt whenever the
+	// membership view's config epoch advances. ring is nil while no member
+	// is active (a lone joiner before admission).
+	ringMu    sync.RWMutex
+	ring      *ring
+	ringEpoch int64
+	ringBuilt bool
+
+	// moveMu guards pendingMoves: the deterministic key-movement diff from
+	// the last ring rebuild — keys this node owned under the old ring whose
+	// ownership moved, mapped to their new owner. RebalanceOnce drains it.
+	moveMu       sync.Mutex
+	pendingMoves map[string]string
+
+	// gmu guards the seeded gossip peer-selection stream and the repair
+	// round-robin cursor.
+	gmu       sync.Mutex
+	grand     *det.Rand
+	repairIdx int
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	closed   bool
+	draining bool
 }
 
 // Open builds and starts a node. With no peers and no standby the inner
 // service is opened with untouched hooks — single-node mode really is the
-// bare service.
+// bare service. A non-nil SeedPeers selects dynamic membership instead: the
+// node is clustered from birth (even alone) so that it can be joined, and
+// newcomers call Join after Open to bootstrap through a seed.
 func Open(cfg Config) (*Node, error) {
-	cfg.withDefaults()
-	n := &Node{cfg: cfg, stop: make(chan struct{})}
-
-	var members []string
-	seen := map[string]bool{cfg.Self: true}
-	for _, p := range cfg.Peers {
-		if p == "" || seen[p] {
-			continue
-		}
-		seen[p] = true
-		members = append(members, p)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	clustered := len(members) > 0
+	cfg.withDefaults()
+	n := &Node{cfg: cfg, stop: make(chan struct{}), pendingMoves: make(map[string]string)}
+
+	clustered := false
+	if cfg.SeedPeers != nil {
+		n.dynamic = true
+		clustered = true
+		seeds := dedupePeers(cfg.Self, cfg.SeedPeers)
+		n.cfg.SeedPeers = seeds
+		n.members = newDynamicMembership(cfg.Self, len(seeds) == 0, cfg.Client, cfg.ProbeTimeout, cfg.FailThreshold)
+	} else {
+		members := dedupePeers(cfg.Self, cfg.Peers)
+		clustered = len(members) > 0
+		if clustered {
+			n.members = newMembership(cfg.Self, members, cfg.Client, cfg.ProbeTimeout, cfg.FailThreshold)
+		}
+	}
 	if clustered {
-		all := append([]string{cfg.Self}, members...)
-		n.ring = newRing(all, cfg.VirtualShards)
-		n.members = newMembership(cfg.Self, members, cfg.Client, cfg.ProbeTimeout, cfg.FailThreshold)
+		n.grand = det.NewRand(cfg.GossipSeed, gossipStream(cfg.Self))
 		cfg.Service.Fill = n.fill
 		cfg.Service.Offer = n.offer
 	}
@@ -159,6 +246,7 @@ func Open(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n.svc = svc
+	n.syncRing()
 	n.buildMux()
 
 	if clustered && cfg.ProbeInterval > 0 {
@@ -170,7 +258,40 @@ func Open(cfg Config) (*Node, error) {
 	if n.shipper != nil && cfg.ShipInterval > 0 {
 		n.loop(cfg.ShipInterval, func(ctx context.Context) { n.ShipFlush(ctx) })
 	}
+	if n.dynamic && cfg.GossipInterval > 0 {
+		n.loop(cfg.GossipInterval, func(ctx context.Context) { n.GossipOnce(ctx) })
+	}
+	if clustered && cfg.RepairInterval > 0 {
+		n.loop(cfg.RepairInterval, func(ctx context.Context) {
+			n.RebalanceOnce(ctx)
+			n.RepairOnce(ctx)
+		})
+	}
 	return n, nil
+}
+
+// dedupePeers hardens a configured peer list: empty names and repeats are
+// dropped, and self is removed if listed (a node never peers with itself).
+func dedupePeers(self string, peers []string) []string {
+	seen := map[string]bool{self: true, "": true}
+	var out []string
+	for _, p := range peers {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// gossipStream derives a node's partitioned RNG stream id from its name, so
+// every node draws gossip targets from its own deterministic stream of the
+// shared seed.
+func gossipStream(self string) int {
+	h := fnv.New32a()
+	io.WriteString(h, self)
+	return int(h.Sum32() % 4096)
 }
 
 // loop runs fn every interval until the node stops.
@@ -191,13 +312,78 @@ func (n *Node) loop(interval time.Duration, fn func(ctx context.Context)) {
 	}()
 }
 
+// syncRing rebuilds the consistent-hash ring if the membership view's config
+// epoch advanced since the last build, and computes the deterministic
+// key-movement diff: every cached key this node owned under the old ring but
+// not the new one is queued (key → new owner) for RebalanceOnce to push.
+// The diff is pure — two nodes with the same view, ring parameters and cache
+// contents compute the identical move set.
+func (n *Node) syncRing() {
+	if n.members == nil {
+		return
+	}
+	names := n.members.ringMembers()
+	epoch := n.members.epoch()
+
+	n.ringMu.Lock()
+	if n.ringBuilt && epoch == n.ringEpoch {
+		n.ringMu.Unlock()
+		return
+	}
+	old := n.ring
+	var nr *ring
+	if len(names) > 0 {
+		nr = newRing(names, n.cfg.VirtualShards)
+	}
+	n.ring = nr
+	n.ringEpoch = epoch
+	n.ringBuilt = true
+	n.ringMu.Unlock()
+	n.ctr.ringRebuilds.Add(1)
+
+	if old == nil || nr == nil || n.svc == nil {
+		return
+	}
+	for _, ck := range n.svc.CacheScan() {
+		if old.owner(ck.Key) == n.cfg.Self {
+			if to := nr.owner(ck.Key); to != n.cfg.Self {
+				n.moveMu.Lock()
+				n.pendingMoves[ck.Key] = to
+				n.moveMu.Unlock()
+			}
+		}
+	}
+}
+
+// ownerOf resolves key's current ring owner. ok is false when no ring exists
+// (single-node, or a joiner before admission) — callers fall back to local.
+func (n *Node) ownerOf(key string) (owner string, ok bool) {
+	n.ringMu.RLock()
+	defer n.ringMu.RUnlock()
+	if n.ring == nil {
+		return n.cfg.Self, false
+	}
+	return n.ring.owner(key), true
+}
+
+// ringNodeList returns the current ring's sorted member names (nil when no
+// ring exists).
+func (n *Node) ringNodeList() []string {
+	n.ringMu.RLock()
+	defer n.ringMu.RUnlock()
+	if n.ring == nil {
+		return nil
+	}
+	return n.ring.nodes()
+}
+
 // Service exposes the inner engine (submissions go straight to it — the node
 // adds no layer on the client path).
 func (n *Node) Service() *service.Service { return n.svc }
 
-// Handler returns the node's full HTTP surface: health and readiness probes
-// plus the /internal/v1 peer protocol. The caller mounts it (and any public
-// job API) on whatever listener it owns.
+// Handler returns the node's full HTTP surface: health and readiness probes,
+// the /internal/v1 peer protocol, and the /v1/cluster membership operations.
+// The caller mounts it (and any public job API) on whatever listener it owns.
 func (n *Node) Handler() http.Handler { return n.mux }
 
 // ProbeOnce runs one health-probe round synchronously (test entry point).
@@ -207,7 +393,7 @@ func (n *Node) ProbeOnce(ctx context.Context) {
 	}
 }
 
-// Peers reports per-peer liveness state.
+// Peers reports per-peer liveness and membership state.
 func (n *Node) Peers() map[string]PeerStatus {
 	if n.members == nil {
 		return nil
@@ -215,12 +401,40 @@ func (n *Node) Peers() map[string]PeerStatus {
 	return n.members.snapshot()
 }
 
+// Name reports the node's own cluster address ("" in single-node mode).
+func (n *Node) Name() string { return n.cfg.Self }
+
 // Owner reports which member owns key — exported for smoke tooling.
 func (n *Node) Owner(key string) string {
-	if n.ring == nil {
-		return n.cfg.Self
+	owner, _ := n.ownerOf(key)
+	return owner
+}
+
+// Epoch reports the membership view's config epoch (0 for single-node mode).
+func (n *Node) Epoch() int64 {
+	if n.members == nil {
+		return 0
 	}
-	return n.ring.owner(key)
+	return n.members.epoch()
+}
+
+// ViewDigest reports the membership view's convergence digest ("" for
+// single-node mode). Two nodes agree on the cluster's shape exactly when
+// their digests match.
+func (n *Node) ViewDigest() string {
+	if n.members == nil {
+		return ""
+	}
+	return n.members.digest()
+}
+
+// View returns a deep copy of the membership view (zero View for
+// single-node mode).
+func (n *Node) View() View {
+	if n.members == nil {
+		return View{}
+	}
+	return n.members.viewClone()
 }
 
 // Close drains the background loops, flushes any unshipped journal records,
@@ -275,7 +489,36 @@ func (n *Node) buildMux() {
 	mux.HandleFunc("/internal/v1/steal", n.handleSteal)
 	mux.HandleFunc("/internal/v1/complete", n.handleComplete)
 	mux.HandleFunc("/internal/v1/ship", n.handleShip)
+	mux.HandleFunc("/internal/v1/gossip", n.handleGossip)
+	mux.HandleFunc("/internal/v1/join", n.handleJoin)
+	mux.HandleFunc("/internal/v1/handoff", n.handleHandoff)
+	mux.HandleFunc("/internal/v1/handoff-journal", n.handleHandoffJournal)
+	mux.HandleFunc("/internal/v1/digest", n.handleDigest)
+	mux.HandleFunc("/v1/cluster/join", n.handleJoin)
+	mux.HandleFunc("/v1/cluster/drain", n.handleDrainRequest)
+	mux.HandleFunc("/v1/cluster/stats", n.handleClusterStats)
 	n.mux = mux
+}
+
+// clusterStatus is the GET /v1/cluster/stats body: counters plus the
+// membership view and per-peer liveness — the operator's one-call picture of
+// the cluster as this node sees it.
+type clusterStatus struct {
+	Node  string                `json:"node"`
+	Stats Stats                 `json:"stats"`
+	View  View                  `json:"view,omitempty"`
+	Peers map[string]PeerStatus `json:"peers,omitempty"`
+	Ring  []string              `json:"ring,omitempty"`
+}
+
+// handleClusterStats reports the node's cluster-layer state.
+func (n *Node) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	st := clusterStatus{Node: n.cfg.Self, Stats: n.Stats(), Peers: n.Peers(), Ring: n.ringNodeList()}
+	if n.members != nil {
+		st.View = n.members.viewClone()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
 }
 
 // handleHealthz is liveness: 200 whenever the process can answer, with the
@@ -293,10 +536,18 @@ func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is readiness: 200 only when the inner service can do real
-// work (journal writable, breaker not open, not draining). Unreadiness is
-// 503 with the failing gate named, so load balancers drain the node while
-// operators read why.
+// work (journal writable, breaker not open, not draining) and, in dynamic
+// mode, the node has been admitted to the ring — a joiner can compute, but
+// routing traffic at it before admission hides it from the ownership map.
+// Unreadiness is 503 with the failing gate named, so load balancers drain
+// the node while operators read why.
 func (n *Node) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if n.members != nil && n.members.selfState() == StateJoining {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": "joining: not yet admitted to the ring"})
+		return
+	}
 	if err := n.svc.Ready(); err != nil {
 		w.Header().Set("Content-Type", "application/json")
 		if ra := service.RetryAfter(err); ra > 0 {
@@ -334,9 +585,18 @@ func (n *Node) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// offerMsg is the body of /internal/v1/offer: the computed result plus,
+// when the offering node knows it, the originating request — which makes the
+// installed entry recheckable by the owner's anti-entropy repair loop.
+type offerMsg struct {
+	Res *service.Result  `json:"res"`
+	Req *service.Request `json:"req,omitempty"`
+}
+
 // handleOffer installs a peer-computed result into the local cache. A
 // divergence (offer conflicting with a cached entry) is 409 — the offering
-// peer logs it; both sides count it.
+// peer logs it; both sides count it. Bare service.Result bodies (the pre-
+// membership wire form) are still accepted.
 func (n *Node) handleOffer(w http.ResponseWriter, r *http.Request) {
 	key := r.URL.Query().Get("key")
 	if key == "" {
@@ -354,12 +614,17 @@ func (n *Node) handleOffer(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	var res service.Result
-	if err := json.Unmarshal(body, &res); err != nil {
-		http.Error(w, "bad offer body: "+err.Error(), http.StatusBadRequest)
-		return
+	var msg offerMsg
+	if err := json.Unmarshal(body, &msg); err != nil || msg.Res == nil {
+		// Legacy shape: the body is the bare result.
+		var res service.Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			http.Error(w, "bad offer body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		msg = offerMsg{Res: &res}
 	}
-	if err := n.svc.OfferResult(key, &res); err != nil {
+	if err := n.svc.OfferResultFrom(key, msg.Res, msg.Req); err != nil {
 		if errors.Is(err, diag.ErrDivergence) {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return

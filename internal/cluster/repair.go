@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/service"
+)
+
+// Anti-entropy repair. Ring churn, missed offers, and plain bit rot all
+// leave the same symptom: the copies of a key scattered across the cluster
+// stop agreeing, or the owner is missing entries its peers hold. The repair
+// loop reconciles them with a merkle-style two-round exchange, and — this is
+// the part determinism buys — arbitrates every disagreement by recompute,
+// not by timestamp or quorum:
+//
+//   - round 1: ask one peer for its bucketed digest of the entries *it*
+//     holds that *we* own under the current ring (repairBuckets FNV-64a
+//     summaries over sorted (key, hash) lines);
+//   - round 2: for each bucket that differs from our own summary, fetch the
+//     peer's (key, hash) list and reconcile key by key:
+//       missing here → pull the entry (normal fill fetch, checksummed, then
+//       installed through the same policed offer path peers use);
+//       hash differs → re-execute locally (service.RecheckResult): if our
+//       copy reproduces, the peer is the divergent one — reported and
+//       quarantined via the corruption machinery; if ours does not, it has
+//       already been replaced by the recompute (or evicted if unverifiable).
+//
+// Nothing is ever "trusted newer": a divergent entry loses to deterministic
+// re-execution no matter where it lives.
+
+// repairBuckets is the digest fan-out: keys bucket by FNV(key) % repairBuckets.
+const repairBuckets = 16
+
+// bucketDigest is one bucket's summary in the round-1 reply.
+type bucketSummary struct {
+	Digests [repairBuckets]string `json:"digests"`
+	Counts  [repairBuckets]int    `json:"counts"`
+}
+
+// repairKey is one entry in the round-2 reply.
+type repairKey struct {
+	Key  string `json:"key"`
+	Hash string `json:"hash"`
+}
+
+func bucketOf(key string) int {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return int(h.Sum32() % repairBuckets)
+}
+
+// ownedScan enumerates this node's cache entries owned by `owner` under this
+// node's current ring, sorted by key (CacheScan's order).
+func (n *Node) ownedScan(owner string) []repairKey {
+	var out []repairKey
+	for _, ck := range n.svc.CacheScan() {
+		if o, ok := n.ownerOf(ck.Key); ok && o == owner {
+			out = append(out, repairKey{Key: ck.Key, Hash: ck.ScheduleHash})
+		}
+	}
+	return out
+}
+
+// bucketDigests computes the round-1 summary for owner from the local cache.
+func (n *Node) bucketDigests(owner string) bucketSummary {
+	var lines [repairBuckets][]string
+	for _, rk := range n.ownedScan(owner) {
+		b := bucketOf(rk.Key)
+		lines[b] = append(lines[b], rk.Key+" "+rk.Hash)
+	}
+	var sum bucketSummary
+	for b := range lines {
+		sort.Strings(lines[b])
+		h := fnv.New64a()
+		for _, l := range lines[b] {
+			io.WriteString(h, l)
+			io.WriteString(h, "\n")
+		}
+		sum.Digests[b] = fmt.Sprintf("%016x", h.Sum64())
+		sum.Counts[b] = len(lines[b])
+	}
+	return sum
+}
+
+// bucketKeys computes one bucket's (key, hash) list for owner (round 2).
+func (n *Node) bucketKeys(owner string, bucket int) []repairKey {
+	out := []repairKey{}
+	for _, rk := range n.ownedScan(owner) {
+		if bucketOf(rk.Key) == bucket {
+			out = append(out, rk)
+		}
+	}
+	return out
+}
+
+// RepairOnce runs one anti-entropy round against the next ring peer in
+// round-robin order, bounded by Config.RepairMax reconciled keys. Returns
+// the number of entries pulled, fixed, or flagged divergent. Synchronous —
+// the background loop calls it on a ticker, and deterministic tests call it
+// directly.
+func (n *Node) RepairOnce(ctx context.Context) int {
+	if n.members == nil {
+		return 0
+	}
+	var peers []string
+	for _, name := range n.ringNodeList() {
+		if name != n.cfg.Self && n.members.alive(name) {
+			peers = append(peers, name)
+		}
+	}
+	if len(peers) == 0 {
+		return 0
+	}
+	n.gmu.Lock()
+	peer := peers[n.repairIdx%len(peers)]
+	n.repairIdx++
+	n.gmu.Unlock()
+	n.ctr.repairRounds.Add(1)
+
+	theirs, err := n.fetchBucketDigests(ctx, peer)
+	if err != nil {
+		return 0
+	}
+	ours := n.bucketDigests(n.cfg.Self)
+	repaired, budget := 0, n.cfg.RepairMax
+	for b := 0; b < repairBuckets && budget > 0; b++ {
+		if theirs.Digests[b] == ours.Digests[b] {
+			continue
+		}
+		if theirs.Counts[b] == 0 {
+			continue // they hold nothing of ours in this bucket; nothing to pull or compare
+		}
+		keys, err := n.fetchBucketKeys(ctx, peer, b)
+		if err != nil {
+			continue
+		}
+		for _, rk := range keys {
+			if budget <= 0 {
+				break
+			}
+			budget--
+			fixed, err := n.reconcileKey(ctx, peer, rk)
+			if err != nil && ctx.Err() != nil {
+				return repaired
+			}
+			if fixed {
+				repaired++
+			}
+		}
+	}
+	return repaired
+}
+
+// reconcileKey reconciles one (key, hash) claim from peer against the local
+// cache. Reports whether anything changed (a pull, a local repair, or a peer
+// divergence flagged).
+func (n *Node) reconcileKey(ctx context.Context, peer string, rk repairKey) (bool, error) {
+	local, ok := peek(n.svc, rk.Key)
+	if !ok {
+		// Missing here: pull the peer's entry through the checksummed fetch
+		// path and install it through the policed offer path (hash-verified;
+		// a conflicting concurrent entry surfaces as a divergence).
+		fctx, cancel := context.WithTimeout(ctx, n.cfg.FillTimeout)
+		res, err := n.fetchResult(fctx, peer, rk.Key)
+		cancel()
+		if err != nil || res == nil {
+			return false, err
+		}
+		if err := n.svc.OfferResultFrom(rk.Key, res, nil); err != nil {
+			return false, err
+		}
+		n.ctr.repairPulls.Add(1)
+		return true, nil
+	}
+	if local == rk.Hash {
+		return false, nil
+	}
+	// Copies disagree: recompute decides. RecheckResult returning nil means
+	// our copy reproduced — the peer holds the divergent one.
+	if err := n.svc.RecheckResult(ctx, rk.Key); err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		n.ctr.repairFixes.Add(1) // our copy was wrong; recompute repaired/evicted it
+		return true, nil
+	}
+	n.ctr.repairDivergences.Add(1)
+	n.reportPeerCorruption(peer, fmt.Errorf("cluster: repair %s: peer %s holds schedule hash %s, deterministic recompute holds %s",
+		rk.Key[:12], peer, rk.Hash, local))
+	return true, nil
+}
+
+// peek looks up a key's schedule hash in svc's cache without recency effects.
+func peek(svc *service.Service, key string) (string, bool) {
+	for _, ck := range svc.CacheScan() {
+		if ck.Key == key {
+			return ck.ScheduleHash, true
+		}
+	}
+	return "", false
+}
+
+// fetchBucketDigests runs repair round 1 against peer.
+func (n *Node) fetchBucketDigests(ctx context.Context, peer string) (*bucketSummary, error) {
+	var sum bucketSummary
+	if err := n.getSummed(ctx, peer, "/internal/v1/digest?owner="+n.cfg.Self, &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+// fetchBucketKeys runs repair round 2 against peer.
+func (n *Node) fetchBucketKeys(ctx context.Context, peer string, bucket int) ([]repairKey, error) {
+	var keys []repairKey
+	path := fmt.Sprintf("/internal/v1/digest?owner=%s&bucket=%d", n.cfg.Self, bucket)
+	if err := n.getSummed(ctx, peer, path, &keys); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// getSummed issues one checksummed GET to peer and decodes the JSON reply.
+func (n *Node) getSummed(ctx context.Context, peer, path string, v any) error {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FillTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: status %d", peer, path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := verifySum(resp.Header, body, "repair from "+peer); err != nil {
+		n.reportPeerCorruption(peer, err)
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// RebalanceOnce pushes the pending key-movement diff (computed by syncRing
+// at each ring rebuild) to the keys' new owners: one synchronous offer per
+// key, request attached so the receiving owner installs a recheckable entry.
+// The local copy stays — it is still byte-correct, and keeping it costs one
+// cache slot, not soundness. Returns the number of keys pushed. Moves whose
+// target is gone are dropped; the repair loop re-converges them later.
+func (n *Node) RebalanceOnce(ctx context.Context) int {
+	n.moveMu.Lock()
+	if len(n.pendingMoves) == 0 {
+		n.moveMu.Unlock()
+		return 0
+	}
+	moves := n.pendingMoves
+	n.pendingMoves = make(map[string]string)
+	n.moveMu.Unlock()
+
+	keys := make([]string, 0, len(moves))
+	for k := range moves {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	pushed := 0
+	for _, key := range keys {
+		if ctx.Err() != nil {
+			break
+		}
+		// Ownership may have moved again since the diff: resolve at push time.
+		to, ok := n.ownerOf(key)
+		if !ok || to == n.cfg.Self || !n.members.alive(to) {
+			continue
+		}
+		res, req, ok := n.svc.ExportResult(key)
+		if !ok {
+			continue
+		}
+		octx, cancel := context.WithTimeout(ctx, n.cfg.FillTimeout)
+		err := n.sendOffer(octx, to, key, res, req)
+		cancel()
+		if err == nil {
+			n.ctr.rebalanceMoves.Add(1)
+			pushed++
+		}
+	}
+	return pushed
+}

@@ -27,6 +27,27 @@ type counters struct {
 	corruptDetected atomic.Int64
 	shipCorrupt     atomic.Int64
 	peerQuarantines atomic.Int64
+
+	// Membership-plane counters: ring rebuilds (config epoch advances),
+	// gossip traffic, join/drain lifecycle events, and the handoff, rebalance
+	// and anti-entropy repair work churn triggers.
+	ringRebuilds        atomic.Int64
+	gossipRounds        atomic.Int64
+	gossipSent          atomic.Int64
+	gossipFails         atomic.Int64
+	gossipMerges        atomic.Int64
+	joins               atomic.Int64
+	joinsServed         atomic.Int64
+	drains              atomic.Int64
+	handoffJobsSent     atomic.Int64
+	handoffJobsRecv     atomic.Int64
+	journalHandoffs     atomic.Int64
+	journalHandoffsRecv atomic.Int64
+	rebalanceMoves      atomic.Int64
+	repairRounds        atomic.Int64
+	repairPulls         atomic.Int64
+	repairFixes         atomic.Int64
+	repairDivergences   atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the node's cluster counters.
@@ -52,28 +73,76 @@ type Stats struct {
 	CorruptPayloads int64 `json:"corrupt_payloads,omitempty"`
 	ShipCorrupt     int64 `json:"ship_corrupt,omitempty"`
 	PeerQuarantines int64 `json:"peer_quarantines,omitempty"`
+
+	// Membership-plane counters. Epoch and MemberState describe the current
+	// view (zero/empty in single-node mode); the rest count lifecycle and
+	// repair work since the node opened.
+	Epoch               int64  `json:"epoch,omitempty"`
+	MemberState         string `json:"member_state,omitempty"`
+	RingRebuilds        int64  `json:"ring_rebuilds,omitempty"`
+	GossipRounds        int64  `json:"gossip_rounds,omitempty"`
+	GossipSent          int64  `json:"gossip_sent,omitempty"`
+	GossipFails         int64  `json:"gossip_fails,omitempty"`
+	GossipMerges        int64  `json:"gossip_merges,omitempty"`
+	Joins               int64  `json:"joins,omitempty"`
+	JoinsServed         int64  `json:"joins_served,omitempty"`
+	Drains              int64  `json:"drains,omitempty"`
+	HandoffJobsSent     int64  `json:"handoff_jobs_sent,omitempty"`
+	HandoffJobsRecv     int64  `json:"handoff_jobs_recv,omitempty"`
+	JournalHandoffs     int64  `json:"journal_handoffs,omitempty"`
+	JournalHandoffsRecv int64  `json:"journal_handoffs_recv,omitempty"`
+	RebalanceMoves      int64  `json:"rebalance_moves,omitempty"`
+	RepairRounds        int64  `json:"repair_rounds,omitempty"`
+	RepairPulls         int64  `json:"repair_pulls,omitempty"`
+	RepairFixes         int64  `json:"repair_fixes,omitempty"`
+	RepairDivergences   int64  `json:"repair_divergences,omitempty"`
 }
 
 // Stats snapshots the cluster counters.
 func (n *Node) Stats() Stats {
+	var epoch int64
+	var state string
+	if n.members != nil {
+		epoch = n.members.epoch()
+		state = string(n.members.selfState())
+	}
 	return Stats{
-		FillAttempts:     n.ctr.fillAttempts.Load(),
-		FillHits:         n.ctr.fillHits.Load(),
-		FillMisses:       n.ctr.fillMisses.Load(),
-		FillSkips:        n.ctr.fillSkips.Load(),
-		FillHedges:       n.ctr.fillHedges.Load(),
-		FillsServed:      n.ctr.fillsServed.Load(),
-		OffersSent:       n.ctr.offersSent.Load(),
-		OfferFails:       n.ctr.offerFails.Load(),
-		OfferDivergences: n.ctr.offerDivergences.Load(),
-		StealsDone:       n.ctr.stealsDone.Load(),
-		CompletesSent:    n.ctr.completesSent.Load(),
-		CompleteFails:    n.ctr.completeFails.Load(),
-		ShipBatches:      n.ctr.shipBatches.Load(),
-		ShipLines:        n.ctr.shipLines.Load(),
-		ShipFails:        n.ctr.shipFails.Load(),
-		CorruptPayloads:  n.ctr.corruptDetected.Load(),
-		ShipCorrupt:      n.ctr.shipCorrupt.Load(),
-		PeerQuarantines:  n.ctr.peerQuarantines.Load(),
+		Epoch:               epoch,
+		MemberState:         state,
+		RingRebuilds:        n.ctr.ringRebuilds.Load(),
+		GossipRounds:        n.ctr.gossipRounds.Load(),
+		GossipSent:          n.ctr.gossipSent.Load(),
+		GossipFails:         n.ctr.gossipFails.Load(),
+		GossipMerges:        n.ctr.gossipMerges.Load(),
+		Joins:               n.ctr.joins.Load(),
+		JoinsServed:         n.ctr.joinsServed.Load(),
+		Drains:              n.ctr.drains.Load(),
+		HandoffJobsSent:     n.ctr.handoffJobsSent.Load(),
+		HandoffJobsRecv:     n.ctr.handoffJobsRecv.Load(),
+		JournalHandoffs:     n.ctr.journalHandoffs.Load(),
+		JournalHandoffsRecv: n.ctr.journalHandoffsRecv.Load(),
+		RebalanceMoves:      n.ctr.rebalanceMoves.Load(),
+		RepairRounds:        n.ctr.repairRounds.Load(),
+		RepairPulls:         n.ctr.repairPulls.Load(),
+		RepairFixes:         n.ctr.repairFixes.Load(),
+		RepairDivergences:   n.ctr.repairDivergences.Load(),
+		FillAttempts:        n.ctr.fillAttempts.Load(),
+		FillHits:            n.ctr.fillHits.Load(),
+		FillMisses:          n.ctr.fillMisses.Load(),
+		FillSkips:           n.ctr.fillSkips.Load(),
+		FillHedges:          n.ctr.fillHedges.Load(),
+		FillsServed:         n.ctr.fillsServed.Load(),
+		OffersSent:          n.ctr.offersSent.Load(),
+		OfferFails:          n.ctr.offerFails.Load(),
+		OfferDivergences:    n.ctr.offerDivergences.Load(),
+		StealsDone:          n.ctr.stealsDone.Load(),
+		CompletesSent:       n.ctr.completesSent.Load(),
+		CompleteFails:       n.ctr.completeFails.Load(),
+		ShipBatches:         n.ctr.shipBatches.Load(),
+		ShipLines:           n.ctr.shipLines.Load(),
+		ShipFails:           n.ctr.shipFails.Load(),
+		CorruptPayloads:     n.ctr.corruptDetected.Load(),
+		ShipCorrupt:         n.ctr.shipCorrupt.Load(),
+		PeerQuarantines:     n.ctr.peerQuarantines.Load(),
 	}
 }

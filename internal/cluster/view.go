@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Versioned membership. The cluster's shape is a View: a monotonically
+// increasing config epoch plus a per-node lifecycle state. Views spread by
+// gossip and merge as a join-semilattice — per member, the higher stamp wins,
+// ties break toward the later lifecycle state, and the epoch is the max of
+// the two sides — so any two nodes that have exchanged (directly or
+// transitively) the same set of updates hold byte-identical views, no matter
+// the delivery order. That convergence-by-construction is what lets the churn
+// chaos property assert "all survivors agree on the final epoch and ring"
+// instead of hoping an eventually-consistent protocol got there.
+//
+// Only a member mutates its own state (join, drain, leave), so per-member
+// stamps form a single writer sequence and the merge never has to arbitrate
+// concurrent writers. Probe-based down/up decisions deliberately stay OUT of
+// the view: they are local observations (node A may reach B while C cannot),
+// and gossiping them would launder nondeterministic reachability into the
+// deterministic config epoch.
+
+// MemberState is one node's lifecycle state in the membership view.
+type MemberState string
+
+const (
+	// StateJoining: announced but not yet bootstrapped; not on the ring.
+	StateJoining MemberState = "joining"
+	// StateActive: a full member; owns ring ranges.
+	StateActive MemberState = "active"
+	// StateDraining: finishing accepted work and handing off; already off the
+	// ring so new keys route to their next owner.
+	StateDraining MemberState = "draining"
+	// StateLeft: departed (gracefully or by operator decree); a tombstone.
+	StateLeft MemberState = "left"
+)
+
+// rank orders states for merge tie-breaks: the lifecycle only moves forward,
+// so on equal stamps the later state is the newer fact.
+func (s MemberState) rank() int {
+	switch s {
+	case StateActive:
+		return 1
+	case StateDraining:
+		return 2
+	case StateLeft:
+		return 3
+	default: // joining
+		return 0
+	}
+}
+
+// Member is one node's entry in a View.
+type Member struct {
+	State MemberState `json:"state"`
+	// Stamp is the config epoch at which State was set. Stamps for a given
+	// member are bumped only by that member, so they form a single-writer
+	// sequence and merges never see concurrent updates to one entry.
+	Stamp int64 `json:"stamp"`
+}
+
+// View is a versioned membership view: the config epoch and every known
+// member's state. Views are value types; methods that mutate take a pointer.
+type View struct {
+	Epoch   int64             `json:"epoch"`
+	Members map[string]Member `json:"members"`
+}
+
+// staticView is the bootstrap view of a fixed peer list: everyone active at
+// epoch 1. Every node given the same list constructs the identical view, so
+// static clusters need no gossip round to agree — exactly the old static-ring
+// behaviour, now expressed as a degenerate view.
+func staticView(names []string) View {
+	v := View{Epoch: 1, Members: make(map[string]Member, len(names))}
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		v.Members[n] = Member{State: StateActive, Stamp: 1}
+	}
+	return v
+}
+
+// joiningView is a newcomer's initial view: itself, joining, epoch 1.
+func joiningView(self string) View {
+	return View{Epoch: 1, Members: map[string]Member{self: {State: StateJoining, Stamp: 1}}}
+}
+
+// Clone deep-copies the view.
+func (v View) Clone() View {
+	out := View{Epoch: v.Epoch, Members: make(map[string]Member, len(v.Members))}
+	for k, m := range v.Members {
+		out.Members[k] = m
+	}
+	return out
+}
+
+// Bump advances the config epoch and sets name's state at the new epoch.
+// Only name itself should call this for its own entry.
+func (v *View) Bump(name string, state MemberState) {
+	if v.Members == nil {
+		v.Members = make(map[string]Member)
+	}
+	v.Epoch++
+	v.Members[name] = Member{State: state, Stamp: v.Epoch}
+}
+
+// Merge folds o into v and reports whether v changed. Per member the higher
+// stamp wins; on equal stamps the higher-ranked (later-lifecycle) state wins;
+// the epoch becomes the max. Merge is commutative, associative, and
+// idempotent, so gossip converges regardless of exchange order.
+func (v *View) Merge(o View) bool {
+	changed := false
+	if o.Epoch > v.Epoch {
+		v.Epoch = o.Epoch
+		changed = true
+	}
+	for name, om := range o.Members {
+		if v.Members == nil {
+			v.Members = make(map[string]Member)
+		}
+		cur, ok := v.Members[name]
+		if !ok || om.Stamp > cur.Stamp || (om.Stamp == cur.Stamp && om.State.rank() > cur.State.rank()) {
+			v.Members[name] = om
+			changed = true
+		}
+	}
+	return changed
+}
+
+// RingMembers returns the sorted names that own ring ranges: active members
+// only. Joining nodes are not admitted until they bootstrap; draining nodes
+// are already handing off, so excluding them is what starts the key movement.
+func (v View) RingMembers() []string {
+	var out []string
+	for name, m := range v.Members {
+		if m.State == StateActive {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Digest condenses the view to a comparable hex string: epoch plus every
+// member's (name, state, stamp) in sorted order. Two nodes agree on the
+// membership exactly when their digests match — the churn property's
+// convergence assertion.
+func (v View) Digest() string {
+	names := make([]string, 0, len(v.Members))
+	for n := range v.Members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "epoch %d\n", v.Epoch)
+	for _, n := range names {
+		m := v.Members[n]
+		fmt.Fprintf(h, "%s %s %d\n", n, m.State, m.Stamp)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -43,11 +43,18 @@ const (
 	ClassNetwork   = "network"
 	ClassIntegrity = "integrity"
 	ClassWorkload  = "workload"
+	// ClassMembership covers cluster-churn faults: seeded join, leave, drain
+	// and flap schedules against the dynamic membership plane.
+	ClassMembership = "membership"
 )
 
 // streamID maps a class to its fixed det.Rand stream id.
 func streamID(class string) int {
 	switch class {
+	case ClassMembership:
+		// id 10 sits below the original block so the unknown-class fallback
+		// (16 + hash) stays exactly where it has always been.
+		return 10
 	case ClassProcess:
 		return 11
 	case ClassStorage:

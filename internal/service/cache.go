@@ -84,6 +84,40 @@ func (c *lruCache) len() int {
 	return c.ll.Len()
 }
 
+// peek returns the cached value without marking it used — enumeration paths
+// (repair scans) must not let maintenance traffic reorder the LRU.
+func (c *lruCache) peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).val, true
+}
+
+// keys returns every cached key, most recently used first, without touching
+// recency. The anti-entropy repair loop enumerates the result cache with it.
+func (c *lruCache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).key)
+	}
+	return out
+}
+
+// remove evicts a key (repair quarantine); missing keys are a no-op.
+func (c *lruCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
 // instrEntry is one instrumentation-cache value. The modules are treated as
 // immutable after insertion: every simulation clones before executing, and
 // harness runs clone internally.
@@ -108,6 +142,12 @@ type instrEntry struct {
 type resultEntry struct {
 	res      Result // canonical fields only; job-specific fields zeroed
 	schedule *trace.Schedule
+	// req is the originating request when known (local simulation, peer fill,
+	// offers that carry it) — what lets the anti-entropy repair loop arbitrate
+	// a divergent entry by deterministic recompute. Nil for entries installed
+	// from a bare wire result; those are unverifiable and repair evicts them
+	// instead of arguing about them.
+	req *Request
 
 	mu       sync.Mutex // guards overhead
 	overhead *harness.OverheadRow
@@ -125,14 +165,20 @@ func exportEntry(ent *resultEntry) *Result {
 // entryFromPeer rebuilds a cache entry from a peer's wire-form result,
 // stripping every job- and transport-specific field so the installed entry
 // is indistinguishable from one computed locally. Callers have already
-// verified the schedule hashes to res.ScheduleHash.
-func entryFromPeer(res *Result) *resultEntry {
+// verified the schedule hashes to res.ScheduleHash. req, when known, makes
+// the entry recheckable by the repair loop; nil is allowed.
+func entryFromPeer(res *Result, req *Request) *resultEntry {
 	r := *res
 	sched := r.Schedule
 	r.JobID, r.Cached, r.InstrCached, r.SelfChecked, r.PeerFilled, r.Remote = "", false, false, false, false, false
 	r.Schedule, r.Overhead = nil, nil
 	r.Stage = StageLatency{}
-	return &resultEntry{res: r, schedule: sched}
+	ent := &resultEntry{res: r, schedule: sched}
+	if req != nil {
+		rc := *req
+		ent.req = &rc
+	}
+	return ent
 }
 
 // instrKey is the content address of an instrumentation: the exact source

@@ -262,7 +262,7 @@ func TestPeerFillAndOffer(t *testing.T) {
 		res *Result
 	}
 	offers := make(chan kr, 16)
-	producer := New(Config{Workers: 1, Offer: func(key string, res *Result) {
+	producer := New(Config{Workers: 1, Offer: func(key string, res *Result, req *Request) {
 		select {
 		case offers <- kr{key, res}:
 		default:

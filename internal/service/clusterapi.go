@@ -188,6 +188,14 @@ func (s *Service) ResultByKey(key string) (*Result, bool) {
 // determinism divergence: it is rejected, counted, and fed to the circuit
 // breaker, and the existing entry stands.
 func (s *Service) OfferResult(key string, res *Result) error {
+	return s.OfferResultFrom(key, res, nil)
+}
+
+// OfferResultFrom is OfferResult with the originating request attached, when
+// the offering node knows it. A req-carrying entry is recheckable: the
+// anti-entropy repair loop can arbitrate a later divergence on this key by
+// deterministic recompute instead of having to evict blindly.
+func (s *Service) OfferResultFrom(key string, res *Result, req *Request) error {
 	if res == nil || res.Schedule == nil {
 		return &diag.MisuseError{Op: "service.OfferResult", ThreadID: -1, Kind: diag.ErrBadConfig,
 			Detail: "offer without a schedule"}
@@ -212,7 +220,7 @@ func (s *Service) OfferResult(key string, res *Result) error {
 		}
 		return nil
 	}
-	s.results.add(key, entryFromPeer(res))
+	s.results.add(key, entryFromPeer(res, req))
 	s.ctr.offers.Add(1)
 	return nil
 }
@@ -225,10 +233,13 @@ func (s *Service) OfferResult(key string, res *Result) error {
 // route around it.
 func (s *Service) Ready() error {
 	s.mu.Lock()
-	closed := s.closed
+	closed, draining := s.closed, s.draining
 	s.mu.Unlock()
 	if closed {
-		return &diag.MisuseError{Op: "service.Ready", ThreadID: -1, Kind: ErrClosed, Detail: "service is draining or closed"}
+		return &diag.MisuseError{Op: "service.Ready", ThreadID: -1, Kind: ErrClosed, Detail: "service is closed"}
+	}
+	if draining {
+		return &diag.MisuseError{Op: "service.Ready", ThreadID: -1, Kind: ErrDraining, Detail: "service is draining"}
 	}
 	if s.degraded.Load() {
 		return fmt.Errorf("journal degraded: durability and result cache are off")

@@ -51,6 +51,11 @@ var (
 	ErrQueueFull = fmt.Errorf("job queue full")
 	// ErrClosed: the service is draining or closed.
 	ErrClosed = fmt.Errorf("service closed")
+	// ErrDraining: the service is draining toward a graceful leave — it
+	// finishes accepted work but admits nothing new. Unlike ErrClosed the
+	// pipeline is still fully alive (stolen-job completions, peer serves, and
+	// journal writes all proceed); clients should route to another node.
+	ErrDraining = fmt.Errorf("service draining")
 	// ErrUnknownJob: no job with the requested id.
 	ErrUnknownJob = fmt.Errorf("unknown job id")
 )
@@ -131,9 +136,11 @@ type Config struct {
 	// must carry its Schedule (the cache entry's self-check reference).
 	Fill func(ctx context.Context, key string, req *Request) *Result
 	// Offer, when set, receives every freshly computed result (schedule
-	// attached) so the cluster layer can backfill the key's shard owner.
-	// It must enqueue and return quickly; it runs on the worker's goroutine.
-	Offer func(key string, res *Result)
+	// attached) plus its originating request, so the cluster layer can
+	// backfill the key's shard owner with an entry the owner can later
+	// re-verify by deterministic recompute. It must enqueue and return
+	// quickly; it runs on the worker's goroutine.
+	Offer func(key string, res *Result, req *Request)
 	// ShipRecord, when set, receives every journal record line as it is
 	// appended — the journal-shipping feed. It is called under the journal
 	// lock: implementations must buffer and return, never block or call
@@ -203,6 +210,7 @@ type Service struct {
 
 	mu        sync.Mutex
 	closed    bool
+	draining  bool
 	seq       int64
 	jobs      map[string]*job
 	queue     chan *job
@@ -410,6 +418,10 @@ func (s *Service) submit(clientCtx context.Context, req Request) (string, error)
 	if s.closed {
 		s.mu.Unlock()
 		return misuse(ErrClosed, "")
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return misuse(ErrDraining, "node is draining; submit elsewhere")
 	}
 	// Reserve the id first and journal outside the lock: the submitted
 	// record must be durable before the client sees the id, and must exist
@@ -675,6 +687,8 @@ func Classify(err error) string {
 		return "overloaded"
 	case errors.Is(err, ErrCircuitOpen):
 		return "circuit_open"
+	case errors.Is(err, ErrDraining):
+		return "draining"
 	case errors.Is(err, ErrClosed):
 		return "closed"
 	case errors.Is(err, ErrUnknownJob):
@@ -949,7 +963,7 @@ func (s *Service) execute(ctx context.Context, j *job) (*Result, error) {
 		// Freshly computed under a cluster: offer the entry to the key's
 		// shard owner so the next fill from any node hits.
 		if s.cfg.Offer != nil {
-			s.cfg.Offer(rk, exportEntry(ent))
+			s.cfg.Offer(rk, exportEntry(ent), &j.req)
 		}
 	}
 	return s.assemble(j, ie, ent, false, instrHit, false, &lat)
@@ -974,7 +988,7 @@ func (s *Service) peerFill(ctx context.Context, key string, j *job, ie *instrEnt
 		s.ctr.peerFillRejects.Add(1)
 		return nil, nil
 	}
-	ent := entryFromPeer(pr)
+	ent := entryFromPeer(pr, &j.req)
 	if s.peerCheck.sample() {
 		s.ctr.peerChecks.Add(1)
 		fresh, err := s.simulate(ctx, ie, &j.req)
@@ -1086,6 +1100,8 @@ func (s *Service) simulate(ctx context.Context, ie *instrEntry, req *Request) (*
 	if ie.pass != nil {
 		ent.res.Clockable = ie.pass.ClockableNames()
 	}
+	rc := *req
+	ent.req = &rc
 	return ent, nil
 }
 

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/nemesis"
 	"repro/internal/service"
 )
 
@@ -26,6 +28,12 @@ const (
 	NemesisFlaky Nemesis = "flaky"
 	// NemesisSlow adds latency to planned links.
 	NemesisSlow Nemesis = "slow"
+	// NemesisChurn runs the cluster in dynamic-membership mode and applies a
+	// seeded join/drain schedule (nemesis.ClassMembership stream) at
+	// deterministic submission indices: nodes join through the bootstrap
+	// handshake and drain out gracefully mid-load. Submissions route around
+	// departing nodes; cores must stay byte-identical throughout.
+	NemesisChurn Nemesis = "churn"
 )
 
 // RunConfig parameterizes one scenario run.
@@ -77,11 +85,30 @@ type Outcome struct {
 	// TraceFingerprint digests the arrival timeline (seq/at/client).
 	TraceFingerprint string `json:"trace_fingerprint"`
 
+	// ChurnFingerprint digests the executed membership-churn fault timeline
+	// (NemesisChurn only). It is part of the deterministic core: the same
+	// seed must reproduce the identical fault schedule.
+	ChurnFingerprint string `json:"churn_fingerprint,omitempty"`
+	// ChurnEvents counts executed churn events (joins + drains).
+	ChurnEvents int `json:"churn_events,omitempty"`
+
+	// Cluster quiesce state (cluster mode): after the last submission drains,
+	// every surviving node must hold the same view digest — ClusterConverged
+	// — and the shared config epoch and ring membership are themselves
+	// deterministic outputs of (seed, config).
+	ClusterEpoch     int64  `json:"cluster_epoch,omitempty"`
+	ClusterRing      string `json:"cluster_ring,omitempty"`
+	ClusterConverged bool   `json:"cluster_converged,omitempty"`
+
 	// Measured annex — excluded from determinism comparisons.
 	ElapsedMS     int64   `json:"elapsed_ms"`
 	ThroughputJPS float64 `json:"throughput_jps"`
 	P50US         int64   `json:"p50_us,omitempty"`
 	P95US         int64   `json:"p95_us,omitempty"`
+	// MaxPaceSkewUS is the worst observed lag between an arrival's planned
+	// offset and the wall-clock moment its submission launched (Pace mode
+	// only) — the replay-fidelity figure the pacing test bounds.
+	MaxPaceSkewUS int64 `json:"max_pace_skew_us,omitempty"`
 
 	// cores maps program name to its deterministic core string.
 	cores map[string]string
@@ -196,6 +223,7 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 
 	var submit func(ctx context.Context, seq int, req service.Request) (*service.Result, error)
 	var shutdown func() error
+	var cl *runCluster
 	if cfg.Nodes == 1 {
 		svc := service.New(service.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth})
 		submit = func(ctx context.Context, _ int, req service.Request) (*service.Result, error) {
@@ -207,7 +235,8 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 			return svc.Close(cctx)
 		}
 	} else {
-		cl, err := openCluster(cfg, rng)
+		var err error
+		cl, err = openCluster(cfg, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -242,6 +271,15 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 			if until := start.Add(time.Duration(ev.AtUS) * time.Microsecond); time.Until(until) > 0 {
 				time.Sleep(time.Until(until))
 			}
+			if skew := time.Since(start).Microseconds() - ev.AtUS; skew > out.MaxPaceSkewUS {
+				out.MaxPaceSkewUS = skew
+			}
+		}
+		if cl != nil {
+			// Membership churn fires at deterministic submission indices,
+			// applied in the main loop so every run sees the identical
+			// interleaving of churn events and submission launches.
+			cl.step(ctx, i)
 		}
 		var clientCh chan struct{}
 		if ch, ok := client[ev.Client]; ok {
@@ -265,6 +303,11 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if cl != nil {
+		// Quiesce before teardown: convergence is only observable while the
+		// surviving nodes are still up.
+		out.ClusterEpoch, out.ClusterRing, out.ClusterConverged = cl.quiesce(ctx)
+	}
 	if err := shutdown(); err != nil {
 		return nil, err
 	}
@@ -292,6 +335,10 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 		}
 	}
 	out.CoreFingerprint = coreFingerprint(out.cores)
+	if cl != nil && cl.eng != nil {
+		out.ChurnFingerprint = cl.eng.Fingerprint()
+		out.ChurnEvents = len(cl.eng.Timeline())
+	}
 	out.ElapsedMS = elapsed.Milliseconds()
 	if s := elapsed.Seconds(); s > 0 {
 		out.ThroughputJPS = float64(out.Completed) / s
@@ -304,43 +351,102 @@ func Run(ctx context.Context, cfg RunConfig) (*Outcome, error) {
 	return out, nil
 }
 
-// runCluster holds the LoopNet topology for one scenario.
+// runCluster holds the LoopNet topology for one scenario. Under NemesisChurn
+// it additionally owns the seeded membership-churn schedule: mu guards the
+// node/addr/live sets, which the main submission loop mutates through step()
+// while submission goroutines read them to route.
 type runCluster struct {
-	net   *cluster.LoopNet
-	nodes []*cluster.Node
-	addrs []string
-	cfg   RunConfig
+	net *cluster.LoopNet
+	cfg RunConfig
+
+	mu     sync.Mutex
+	nodes  []*cluster.Node
+	addrs  []string
+	live   map[string]bool
+	nextID int
+
+	eng   *nemesis.Engine
+	churn map[int][]nemesis.Event
 }
 
-// openCluster builds an n-node LoopNet cluster with background loops off
-// (the driver's submissions are the only traffic) and applies the nemesis
-// schedule's initial link state.
+// openNode opens one cluster node with background loops disabled (the
+// driver's submissions — and, under churn, step() — are the only traffic).
+func (c *runCluster) openNode(self string, seeds []string) (*cluster.Node, error) {
+	ccfg := cluster.Config{
+		Self:           self,
+		Client:         c.net.Client(self),
+		ProbeInterval:  -1,
+		StealInterval:  -1,
+		ShipInterval:   -1,
+		GossipInterval: -1,
+		RepairInterval: -1,
+		ProbeTimeout:   time.Second,
+		FillTimeout:    2 * time.Second,
+		FailThreshold:  2,
+		Service:        service.Config{Workers: c.cfg.Workers, QueueDepth: c.cfg.QueueDepth},
+	}
+	if c.cfg.Nemesis == NemesisChurn {
+		ccfg.SeedPeers = seeds
+	} else {
+		ccfg.Peers = c.addrs
+	}
+	n, err := cluster.Open(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	c.net.Register(self, n.Handler())
+	return n, nil
+}
+
+// openCluster builds an n-node LoopNet cluster and applies the nemesis
+// schedule's initial link state. Under NemesisChurn the cluster runs in
+// dynamic-membership mode: node-0 bootstraps, the rest join through it, and
+// the churn plan (nemesis.ClassMembership stream) is precomputed against the
+// arrival count so each event fires at a fixed submission index.
 func openCluster(cfg RunConfig, rng *PartitionedRNG) (*runCluster, error) {
 	net := cluster.NewLoopNet()
 	addrs := make([]string, cfg.Nodes)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("node-%d", i)
 	}
-	cl := &runCluster{net: net, addrs: addrs, cfg: cfg}
-	for _, self := range addrs {
-		n, err := cluster.Open(cluster.Config{
-			Self:          self,
-			Peers:         addrs,
-			Client:        net.Client(self),
-			ProbeInterval: -1,
-			StealInterval: -1,
-			ShipInterval:  -1,
-			ProbeTimeout:  time.Second,
-			FillTimeout:   2 * time.Second,
-			FailThreshold: 2,
-			Service:       service.Config{Workers: cfg.Workers, QueueDepth: cfg.QueueDepth},
-		})
+	cl := &runCluster{net: net, addrs: addrs, cfg: cfg, live: map[string]bool{}, nextID: cfg.Nodes}
+	for i, self := range addrs {
+		var seeds []string
+		if i > 0 {
+			seeds = []string{addrs[0]}
+		} else {
+			seeds = []string{}
+		}
+		n, err := cl.openNode(self, seeds)
 		if err != nil {
 			cl.close()
 			return nil, err
 		}
-		net.Register(self, n.Handler())
 		cl.nodes = append(cl.nodes, n)
+		cl.live[self] = true
+		if cfg.Nemesis == NemesisChurn && i > 0 {
+			jctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := n.Join(jctx)
+			cancel()
+			if err != nil {
+				cl.close()
+				return nil, fmt.Errorf("workload: churn bootstrap join %s: %w", self, err)
+			}
+		}
+	}
+	if cfg.Nemesis == NemesisChurn {
+		cl.eng = nemesis.New(cfg.Seed)
+		plan := nemesis.Plan(cfg.Seed, nemesis.PlanConfig{
+			Steps:   cfg.Arrival.Jobs,
+			Targets: addrs[1:], // node-0 is the routing coordinator; never churned
+		}, []nemesis.OpSpec{
+			{Class: nemesis.ClassMembership, Op: "drain", Rate: 0.02},
+			{Class: nemesis.ClassMembership, Op: "join", Rate: 0.02},
+		})
+		cl.churn = make(map[int][]nemesis.Event)
+		for _, e := range plan {
+			cl.churn[e.Step] = append(cl.churn[e.Step], e)
+		}
 	}
 	// Nemesis link state, planned from the dedicated stream: every ordered
 	// pair of distinct nodes is independently afflicted with probability
@@ -368,31 +474,192 @@ func openCluster(cfg RunConfig, rng *PartitionedRNG) (*runCluster, error) {
 	return cl, nil
 }
 
-// submit routes one request: to its owner node normally, and through a
-// deterministic non-owner coordinator every RemoteEveryN submissions so the
-// peer-fill path sees traffic.
-func (c *runCluster) submit(ctx context.Context, seq int, req service.Request) (*service.Result, error) {
-	key, err := c.nodes[0].Service().KeyFor(req)
-	if err != nil {
-		return nil, err
+// step applies the churn events planned for submission index seq. It runs in
+// the main submission loop — never concurrently with itself — so the live
+// set evolves identically on every run of the same seed. Events that are not
+// applicable in the current state (target already gone, too few survivors)
+// are skipped deterministically and never recorded.
+func (c *runCluster) step(ctx context.Context, seq int) {
+	if c.churn == nil {
+		return
 	}
+	for _, e := range c.churn[seq] {
+		switch e.Op {
+		case "drain":
+			c.applyDrain(ctx, e)
+		case "join":
+			c.applyJoin(ctx, e)
+		}
+	}
+}
+
+// applyDrain gracefully drains the target node out of the cluster: queued
+// work hands off to the surviving owners, displaced keys rebalance, and the
+// journal segment transfers — all synchronously, so by the time the next
+// submission routes, every surviving view has the target as left.
+func (c *runCluster) applyDrain(ctx context.Context, e nemesis.Event) {
+	c.mu.Lock()
+	liveCount := 0
+	for _, ok := range c.live {
+		if ok {
+			liveCount++
+		}
+	}
+	var target *cluster.Node
+	if liveCount > 2 && c.live[e.Target] {
+		c.live[e.Target] = false
+		for i, a := range c.addrs {
+			if a == e.Target {
+				target = c.nodes[i]
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	if target == nil {
+		return
+	}
+	c.eng.Record(e)
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := target.Drain(dctx); err != nil {
+		// Handoff refusal degrades to a durable local journal; the node is
+		// still out of the ring, so routing stays correct.
+		c.eng.Observe(nemesis.ClassMembership, "drain_error", e.Target, err.Error())
+	}
+}
+
+// applyJoin admits a brand-new node through the seed bootstrap handshake:
+// snapshot resync plus divergence cross-check before ring admission. The new
+// node's name is derived from a deterministic counter, so the executed
+// timeline is a pure function of the seed.
+func (c *runCluster) applyJoin(ctx context.Context, e nemesis.Event) {
+	c.mu.Lock()
+	self := fmt.Sprintf("node-%d", c.nextID)
+	c.nextID++
+	seed0 := c.addrs[0]
+	c.mu.Unlock()
+
+	n, err := c.openNode(self, []string{seed0})
+	if err != nil {
+		c.eng.Observe(nemesis.ClassMembership, "join_error", self, err.Error())
+		return
+	}
+	jctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	err = n.Join(jctx)
+	cancel()
+	if err != nil {
+		c.eng.Observe(nemesis.ClassMembership, "join_error", self, err.Error())
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = n.Close(cctx)
+		cancel()
+		return
+	}
+	c.mu.Lock()
+	c.nodes = append(c.nodes, n)
+	c.addrs = append(c.addrs, self)
+	c.live[self] = true
+	c.mu.Unlock()
+	c.eng.Record(nemesis.Event{Step: e.Step, Class: e.Class, Op: e.Op, Target: self})
+}
+
+// route picks the node a submission goes to: the key's owner normally, a
+// deterministic non-owner coordinator every RemoteEveryN submissions, always
+// constrained to live nodes. skip names a node to avoid (a just-failed
+// draining target).
+func (c *runCluster) route(seq int, key, skip string) *cluster.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	owner := c.nodes[0].Owner(key)
 	idx := 0
 	for i, a := range c.addrs {
-		if a == owner {
+		if a == owner && c.live[a] && a != skip {
 			idx = i
 			break
 		}
 	}
-	if c.cfg.RemoteEveryN > 0 && len(c.nodes) > 1 && seq%c.cfg.RemoteEveryN == 0 {
+	if c.cfg.RemoteEveryN > 0 && seq%c.cfg.RemoteEveryN == 0 {
 		idx = (idx + 1) % len(c.nodes)
 	}
-	return c.nodes[idx].Service().Do(ctx, req)
+	// Walk forward to the first live candidate; node-0 is always live, so
+	// the walk terminates.
+	for tries := 0; tries < len(c.nodes); tries++ {
+		a := c.addrs[idx]
+		if c.live[a] && a != skip {
+			return c.nodes[idx]
+		}
+		idx = (idx + 1) % len(c.nodes)
+	}
+	return c.nodes[0]
+}
+
+// submit routes one request to a live node. A submission that races a drain
+// (routed before the target flipped, executed after) is rejected with
+// ErrDraining; it retries on another live node so accepted load is never
+// lost to churn timing.
+func (c *runCluster) submit(ctx context.Context, seq int, req service.Request) (*service.Result, error) {
+	c.mu.Lock()
+	node0 := c.nodes[0]
+	c.mu.Unlock()
+	key, err := node0.Service().KeyFor(req)
+	if err != nil {
+		return nil, err
+	}
+	skip := ""
+	for attempt := 0; ; attempt++ {
+		n := c.route(seq, key, skip)
+		res, err := n.Service().Do(ctx, req)
+		if err != nil && attempt < 4 {
+			switch service.Classify(err) {
+			case "draining", "closed":
+				skip = n.Name()
+				continue
+			}
+		}
+		return res, err
+	}
+}
+
+// quiesce checks post-run convergence across the surviving nodes: all views
+// at the same digest (running catch-up gossip rounds if any straggler
+// disagrees), reporting the shared config epoch, the sorted ring membership,
+// and whether agreement was reached.
+func (c *runCluster) quiesce(ctx context.Context) (int64, string, bool) {
+	c.mu.Lock()
+	var nodes []*cluster.Node
+	for i, a := range c.addrs {
+		if c.live[a] {
+			nodes = append(nodes, c.nodes[i])
+		}
+	}
+	c.mu.Unlock()
+	if len(nodes) == 0 {
+		return 0, "", false
+	}
+	agreed := func() bool {
+		d0 := nodes[0].ViewDigest()
+		for _, n := range nodes[1:] {
+			if n.ViewDigest() != d0 {
+				return false
+			}
+		}
+		return true
+	}
+	for round := 0; round < 4 && !agreed(); round++ {
+		for _, n := range nodes {
+			n.GossipOnce(ctx)
+		}
+	}
+	ring := strings.Join(nodes[0].View().RingMembers(), ",")
+	return nodes[0].Epoch(), ring, agreed()
 }
 
 func (c *runCluster) close() error {
+	c.mu.Lock()
+	nodes := append([]*cluster.Node(nil), c.nodes...)
+	c.mu.Unlock()
 	var first error
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		err := n.Close(ctx)
 		cancel()

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPaceWallClockFidelity checks replay pacing: with Pace on, the driver
+// launches each submission at (no earlier than) its planned arrival offset,
+// and the worst lag behind the plan stays bounded. Wall-clock assertions are
+// inherently load-sensitive, so the skew bound is generous and the test is
+// skipped under -short.
+func TestPaceWallClockFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock pacing test skipped in -short mode")
+	}
+	const seed = 611
+	arrival := ArrivalConfig{Shape: ShapePoisson, Jobs: 30, RatePerSec: 200}
+
+	// The timeline is a pure function of (seed, arrival): regenerate it to
+	// learn the planned span the paced run must stretch to.
+	evs := tlOf(t, seed, arrival)
+	lastUS := evs[len(evs)-1].AtUS
+
+	paced, err := Run(context.Background(), RunConfig{
+		Seed: seed, Arrival: arrival, Mix: liteMix(), Nodes: 1, Pace: true,
+	})
+	if err != nil {
+		t.Fatalf("paced run: %v", err)
+	}
+	if paced.Completed != arrival.Jobs {
+		t.Fatalf("paced run lost jobs: %+v", paced)
+	}
+	if paced.ElapsedMS < lastUS/1000 {
+		t.Fatalf("paced run finished in %dms, before the last planned arrival at %dus — pacing not honored",
+			paced.ElapsedMS, lastUS)
+	}
+	// Bounded skew: every submission launched within 250ms of its planned
+	// offset. The sleep path wakes at-or-after the target, so skew is the
+	// scheduler's overshoot plus loop overhead — far under the bound unless
+	// pacing is broken.
+	const boundUS = 250_000
+	if paced.MaxPaceSkewUS > boundUS {
+		t.Fatalf("max pace skew %dus exceeds %dus — replay drifted off the planned timeline", paced.MaxPaceSkewUS, boundUS)
+	}
+
+	// An unpaced run of the same config must not report skew: the field
+	// measures replay fidelity, not throughput.
+	free, err := Run(context.Background(), RunConfig{
+		Seed: seed, Arrival: arrival, Mix: liteMix(), Nodes: 1,
+	})
+	if err != nil {
+		t.Fatalf("unpaced run: %v", err)
+	}
+	if free.MaxPaceSkewUS != 0 {
+		t.Fatalf("unpaced run reported pace skew %dus", free.MaxPaceSkewUS)
+	}
+	if free.CoreFingerprint != paced.CoreFingerprint {
+		t.Fatalf("pacing changed deterministic cores: %s vs %s", paced.CoreFingerprint, free.CoreFingerprint)
+	}
+}
